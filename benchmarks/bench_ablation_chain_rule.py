@@ -1,0 +1,44 @@
+"""Ablation: the broadcast-chain rule (Section 5.2).
+
+Without the chain rule every broadcast join runs as its own map-only job,
+re-reading and re-writing the probe stream each time. Q9' -- whose plan is
+a chain of dimension broadcasts over lineitem -- quantifies the win.
+"""
+
+from dataclasses import replace
+
+from repro.bench.harness import dataset_for_paper_sf
+from repro.config import DEFAULT_CONFIG
+from repro.core.dyno import Dyno
+from repro.workloads.queries import q9_prime
+
+from .conftest import record, run_once
+
+
+def _run(enable_chain_rule: bool) -> float:
+    config = replace(
+        DEFAULT_CONFIG,
+        optimizer=replace(DEFAULT_CONFIG.optimizer,
+                          enable_chain_rule=enable_chain_rule),
+    )
+    tables = dataset_for_paper_sf(300).tables
+    workload = q9_prime()
+    dyno = Dyno(tables, config=config, udfs=workload.udfs)
+    execution = dyno.execute(workload.final_spec, mode="simple",
+                             strategy="SIMPLE_MO")
+    return execution.execution_seconds
+
+
+def test_ablation_chain_rule(benchmark):
+    def run():
+        return _run(True), _run(False)
+
+    chained, unchained = run_once(benchmark, run)
+    text = "\n".join([
+        "== Ablation: broadcast-chain rule (Q9', SF=300) ==",
+        f"with chain rule:    {chained:10.1f} s",
+        f"without chain rule: {unchained:10.1f} s",
+        f"chain-rule benefit: {unchained / chained:10.2f} x",
+    ])
+    record("ablation_chain_rule", text)
+    assert chained < unchained

@@ -1,0 +1,19 @@
+"""Figure 2: plan evolution for Q8' under DYNOPT.
+
+Paper: the traditional optimizer emits one fixed plan; DYNO starts from a
+pilot-run-informed plan and re-optimizes after each executed job, changing
+the plan as the UDF's true selectivity becomes visible.
+"""
+
+from repro.bench.experiments import figure2_plan_evolution
+
+from .conftest import record, run_once
+
+
+def test_fig2_plan_evolution(benchmark):
+    evolution = run_once(benchmark, figure2_plan_evolution)
+    record("fig2_plan_evolution", evolution.format())
+    assert evolution.relopt_plan
+    assert len(evolution.dyno_plans) >= 1
+    # Signatures are recorded for every re-optimization point.
+    assert len(evolution.signatures) == len(evolution.dyno_plans)

@@ -1,0 +1,27 @@
+"""Figure 3: Q9' plans -- RELOPT vs DYNO after pilot runs.
+
+Paper: the relational optimizer cannot estimate the dimension UDFs'
+selectivity and produces a plan where all joins are expensive repartition
+joins; after pilot runs DYNO's plan has only broadcast joins.
+"""
+
+from repro.bench.experiments import figure3_method_counts, figure3_q9_plans
+
+from .conftest import record, run_once
+
+
+def test_fig3_q9_plans(benchmark):
+    def run():
+        return figure3_q9_plans(), figure3_method_counts()
+
+    plans, counts = run_once(benchmark, run)
+    record("fig3_q9_plans", plans.format() + "\n\n" + counts.format())
+    rows = {row[0]: row for row in counts.rows}
+    relopt_broadcasts = rows["RELOPT"][2]
+    dyno_repartitions = rows["DYNO (after pilot runs)"][1]
+    dyno_broadcasts = rows["DYNO (after pilot runs)"][2]
+    # DYNO: only broadcast joins; RELOPT: mostly repartition joins.
+    assert dyno_repartitions == 0
+    assert dyno_broadcasts == 5
+    assert rows["RELOPT"][1] >= 2
+    assert relopt_broadcasts <= 3

@@ -1,0 +1,25 @@
+"""Figure 5: execution strategies for DYNOPT / DYNOPT-SIMPLE (SF=300).
+
+Paper: SIMPLE_MO always outperforms SIMPLE_SO (better cluster overlap);
+for DYNOPT, more parallelism is not always better because it removes
+re-optimization points -- UNC-1 wins for Q7 and Q8'; on Q10 the chosen
+plan leaves little room and strategies converge.
+"""
+
+from repro.bench.experiments import figure5_strategies
+
+from .conftest import record, run_once
+
+
+def test_fig5_strategies(benchmark):
+    table = run_once(benchmark, figure5_strategies)
+    record("fig5_strategies", table.format())
+
+    def pct(cell):
+        return float(cell.rstrip("%"))
+
+    for row in table.rows:
+        query, so, mo = row[0], pct(row[1]), pct(row[2])
+        assert so == 100.0
+        # MO never loses to SO (equal when the plan is one job).
+        assert mo <= so + 1e-6, (query, mo)

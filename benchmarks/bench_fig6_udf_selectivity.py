@@ -1,0 +1,26 @@
+"""Figure 6: Q9' runtime vs dimension-UDF selectivity (SF=300).
+
+Paper: DYNOPT-SIMPLE (pilot runs) beats RELOPT by ~1.7-1.8x at 0.01%-0.1%
+selectivity, ~1.15x at 1%-10%, and converges to parity at 100% where both
+pick the same (repartition-dominated) plan. The speedup shrinks as the
+filtered dimensions stop fitting in memory and the job count grows.
+"""
+
+from repro.bench.experiments import figure6_udf_selectivity
+
+from .conftest import record, run_once
+
+
+def test_fig6_udf_selectivity(benchmark):
+    table = run_once(benchmark, figure6_udf_selectivity)
+    record("fig6_udf_selectivity", table.format())
+    speedups = [float(row[3].rstrip("x")) for row in table.rows]
+    jobs = [row[4] for row in table.rows]
+    # Big wins at high selectivity (small dimensions)...
+    assert speedups[0] > 1.5
+    assert speedups[1] > 1.5
+    # ...decaying monotonically-ish to parity at 100%.
+    assert speedups[-1] < 1.25
+    assert min(speedups) > 0.9
+    # The number of jobs grows as fewer dimensions fit together.
+    assert jobs[0] <= jobs[-1]

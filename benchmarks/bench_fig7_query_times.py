@@ -1,0 +1,38 @@
+"""Figure 7: query times of all four plan variants, SF in {100,300,1000}.
+
+Paper: DYNOPT and DYNOPT-SIMPLE are at least as good as the best
+hand-written left-deep plan and up to 2x (Q8' SF100) better; Q9' gains
+1.33x-1.88x from broadcast-join chains; Q10's best plan is already
+left-deep so everything converges; RELOPT is sometimes worse than
+BESTSTATICJAQL. Known deviation at simulation scale (EXPERIMENTS.md):
+fixed costs (pilot runs, job startup) weigh relatively more, so Q2 -- a
+short query over small tables -- shows DYNO slightly *above* the static
+baseline instead of 20% below it.
+"""
+
+from repro.bench.experiments import figure7_query_times
+
+from .conftest import record, run_once
+
+
+def test_fig7_query_times(benchmark):
+    table = run_once(benchmark, figure7_query_times)
+    record("fig7_query_times", table.format())
+
+    def pct(cell):
+        return float(cell.rstrip("%"))
+
+    rows = {(row[0], row[1]): row for row in table.rows}
+    # Q9' and Q8' show the paper's headline wins somewhere in the sweep.
+    assert pct(rows[(300, "Q9'")][4]) < 60.0   # DYNOPT-SIMPLE
+    assert pct(rows[(100, "Q8'")][5]) < 90.0   # DYNOPT
+    # Q8' keeps beating the static baseline at every scale factor, and
+    # re-optimization never costs more than its small overhead on top of
+    # DYNOPT-SIMPLE.
+    for sf in (100, 300, 1000):
+        assert pct(rows[(sf, "Q8'")][5]) < 95.0
+        assert (pct(rows[(sf, "Q8'")][5])
+                <= 1.15 * pct(rows[(sf, "Q8'")][4]))
+    # Q10: everything within ~25% of the best static plan (a tie).
+    for sf in (100, 300, 1000):
+        assert pct(rows[(sf, "Q10")][5]) < 130.0

@@ -1,0 +1,25 @@
+"""Table 1: PILR_ST vs PILR_MT relative pilot-run time.
+
+Paper: PILR_MT is 16%-28% of PILR_ST (4.6x average speedup) and its time
+is independent of the scale factor -- it depends only on the sample size.
+"""
+
+from repro.bench.experiments import table1_pilr
+
+from .conftest import record, run_once
+
+
+def test_table1_pilr(benchmark):
+    table = run_once(benchmark, table1_pilr)
+    record("table1_pilr", table.format())
+    values = {}
+    for row in table.rows:
+        query = row[0]
+        values[query] = [float(cell.rstrip("%")) for cell in row[2:]]
+    for query, percentages in values.items():
+        # MT is always a multiple faster than ST ...
+        assert all(p < 60.0 for p in percentages), (query, percentages)
+        # ... and (near) scale-factor invariant.
+        assert max(percentages) - min(percentages) < 15.0, (
+            query, percentages
+        )

@@ -1,0 +1,27 @@
+"""Shared plumbing for the experiment benchmarks.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+(Section 6). Results print to stdout (run with ``-s`` to see them live)
+and are archived under ``benchmarks/results/``. Experiments are
+deterministic, so every benchmark runs a single round.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def record(name: str, text: str) -> str:
+    """Print an experiment's output and archive it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return text
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic experiment exactly once under the benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

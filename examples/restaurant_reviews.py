@@ -1,0 +1,82 @@
+"""The paper's motivating example (Section 4.1): query Q1.
+
+Restaurants in zip 94301, California, with positive reviews whose authors
+pass an identity check:
+
+    SELECT rs.name
+    FROM restaurant rs, review rv, tweet t
+    WHERE rs.id = rv.rsid AND rv.tid = t.id
+    AND rs.addr[0].zip = 94301 AND rs.addr[0].state = 'CA'
+    AND sentanalysis(rv.text) = positive AND checkid(...)
+
+Two estimation traps live here:
+* the zip and state predicates are perfectly *correlated* (zip determines
+  state), so multiplying their selectivities underestimates the result;
+* ``sentanalysis`` is a UDF -- a traditional optimizer cannot estimate it
+  at all.
+
+This example shows (1) CORDS discovering the correlation offline, (2) how
+far off the independence assumption is vs what a pilot run measures, and
+(3) the query running end to end.
+
+Run:  python examples/restaurant_reviews.py
+"""
+
+from repro import Dyno, generate_restaurants
+from repro.core.baselines import oracle_leaf_stats, relopt_leaf_stats
+from repro.workloads.cords import discover_correlations
+from repro.workloads.queries import q1_restaurants
+
+
+def main() -> None:
+    tables = generate_restaurants(restaurant_count=2000, tweet_count=20000)
+    workload = q1_restaurants()
+    dyno = Dyno(tables, udfs=workload.udfs)
+
+    print("== CORDS-style correlation discovery on `restaurant` ==")
+    findings = discover_correlations(
+        tables["restaurant"],
+        columns=["zip", "state", "cuisine"],
+        value_of=lambda row, name: (row["addr"][0][name]
+                                    if name in ("zip", "state")
+                                    else row.get(name)),
+    )
+    for finding in findings:
+        print("  " + finding.describe())
+
+    extracted = dyno.prepare(workload.final_spec)
+    block = extracted.block
+    restaurant_leaf = block.leaf_for("rs")
+
+    print("\n== What each optimizer believes about the filtered "
+          "restaurant relation ==")
+    believed = relopt_leaf_stats(dyno.tables, block)
+    truth = oracle_leaf_stats(dyno.tables, block)
+    signature = restaurant_leaf.signature()
+    print(f"  independence assumption: "
+          f"{believed[signature].row_count:8.1f} rows")
+    print(f"  ground truth:            "
+          f"{truth[signature].row_count:8.1f} rows")
+
+    report = dyno.executor.pilot_runner.run(block)
+    measured = report.outcomes[signature].stats.row_count
+    print(f"  pilot run estimate:      {measured:8.1f} rows "
+          f"(simulated pilot time {report.simulated_seconds:.1f}s)")
+
+    review_leaf = block.leaf_for("rv")
+    review_outcome = report.outcomes[review_leaf.signature()]
+    print(f"\n  sentanalysis UDF measured selectivity: "
+          f"{review_outcome.stats.row_count / len(tables['review']):.2f} "
+          f"(a traditional optimizer must assume 1.0)")
+
+    print("\n== Executing Q1 ==")
+    execution = dyno.execute(workload.final_spec)
+    names = sorted({row["name"] for row in execution.rows})
+    print(f"  {len(execution.rows)} qualifying review/tweet pairs across "
+          f"{len(names)} restaurants; e.g. {names[:3]}")
+    print(f"  simulated total {execution.total_seconds:.1f}s "
+          f"(pilot {execution.pilot_seconds:.1f}s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+"""Combined experiment report generator.
+
+``python -m repro.bench.report`` runs every experiment of
+:mod:`repro.bench.experiments` and writes one markdown document (default
+``benchmarks/results/REPORT.md``) with every table, the plan printouts,
+and the run's configuration fingerprint -- the artifact to diff against
+EXPERIMENTS.md after changing the system.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.bench import experiments
+from repro.bench.harness import ExperimentTable
+from repro.config import DEFAULT_CONFIG, DynoConfig
+
+
+def _as_markdown_table(table: ExperimentTable) -> str:
+    lines = [f"### {table.experiment_id}: {table.title}", ""]
+    lines.append("| " + " | ".join(str(c) for c in table.columns) + " |")
+    lines.append("|" + "---|" * len(table.columns))
+    for row in table.rows:
+        rendered = [
+            f"{cell:.2f}" if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        lines.append("| " + " | ".join(rendered) + " |")
+    for note in table.notes:
+        lines.append(f"\n> {note}")
+    return "\n".join(lines)
+
+
+def _config_fingerprint(config: DynoConfig) -> str:
+    lines = ["### Configuration", "", "```"]
+    for section in ("cluster", "optimizer", "pilot"):
+        values = asdict(getattr(config, section))
+        lines.append(f"[{section}]")
+        for key, value in sorted(values.items()):
+            lines.append(f"  {key} = {value}")
+    lines.append(f"backend = {config.backend}")
+    lines.append("```")
+    return "\n".join(lines)
+
+
+#: (section title, experiment callable, renderer)
+EXPERIMENT_SEQUENCE = (
+    ("Table 1", experiments.table1_pilr, _as_markdown_table),
+    ("Figure 2", experiments.figure2_plan_evolution,
+     lambda ev: "```\n" + ev.format() + "\n```"),
+    ("Figure 3 (plans)", experiments.figure3_q9_plans,
+     lambda ev: "```\n" + ev.format() + "\n```"),
+    ("Figure 3 (methods)", experiments.figure3_method_counts,
+     _as_markdown_table),
+    ("Figure 4", experiments.figure4_overhead, _as_markdown_table),
+    ("Figure 5", experiments.figure5_strategies, _as_markdown_table),
+    ("Figure 6", experiments.figure6_udf_selectivity, _as_markdown_table),
+    ("Figure 7", experiments.figure7_query_times, _as_markdown_table),
+    ("Figure 8", experiments.figure8_hive, _as_markdown_table),
+)
+
+
+def generate_report(config: DynoConfig = DEFAULT_CONFIG,
+                    only: set[str] | None = None,
+                    progress=None) -> str:
+    """Run the experiments and return the markdown report text."""
+    sections = [
+        "# DYNO reproduction -- experiment report",
+        "",
+        "All times are simulated cluster seconds; every table is "
+        "normalized as in the paper (see EXPERIMENTS.md for the "
+        "paper-vs-measured discussion).",
+        "",
+        _config_fingerprint(config),
+    ]
+    for title, runner, renderer in EXPERIMENT_SEQUENCE:
+        if only is not None and title not in only:
+            continue
+        started = time.time()
+        if progress is not None:
+            print(f"running {title} ...", file=progress, flush=True)
+        result = runner(config)
+        sections.append("")
+        sections.append(renderer(result))
+        if progress is not None:
+            print(f"  done in {time.time() - started:.1f}s wall",
+                  file=progress, flush=True)
+    return "\n".join(sections) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.report",
+        description="Regenerate every paper table/figure into one "
+                    "markdown report.",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path("benchmarks") / "results" / "REPORT.md"),
+    )
+    parser.add_argument(
+        "--only", nargs="*", default=None,
+        help="experiment titles to include (e.g. 'Table 1' 'Figure 6')",
+    )
+    args = parser.parse_args(argv)
+    report = generate_report(
+        only=set(args.only) if args.only else None,
+        progress=sys.stderr,
+    )
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(report)
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    sys.exit(main())

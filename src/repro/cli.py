@@ -1,0 +1,165 @@
+"""Command-line interface: run queries on a generated TPC-H cluster.
+
+Examples::
+
+    # one of the paper's workloads, with plans and timing breakdown
+    python -m repro --workload Q10 --paper-sf 100 --show-plans
+
+    # ad-hoc SQL under the Hive backend, EXPLAIN only
+    python -m repro --sql "SELECT n.n_name AS n FROM nation n, region r \
+        WHERE n.n_regionkey = r.r_regionkey" --backend hive --explain
+
+    # persist pilot-run statistics across invocations
+    python -m repro --workload Q9' --save-stats stats.json
+    python -m repro --workload Q9' --load-stats stats.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.dyno import Dyno
+from repro.data.tpch import PAPER_SCALE_FACTORS, generate_tpch
+from repro.errors import DynoError
+from repro.workloads.queries import TPCH_WORKLOADS, q3
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DYNO (SIGMOD 2014) reproduction: dynamically "
+                    "optimized queries over a simulated MapReduce cluster.",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--workload", choices=sorted(TPCH_WORKLOADS) + ["Q3"],
+        help="one of the paper's TPC-H workloads",
+    )
+    source.add_argument("--sql", help="ad-hoc SQL text to execute")
+    source.add_argument("--sql-file", help="file containing SQL text")
+
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument("--scale-factor", type=float, default=None,
+                       help="generator scale factor (default 0.25)")
+    scale.add_argument("--paper-sf", type=int,
+                       choices=sorted(PAPER_SCALE_FACTORS),
+                       help="use the paper's SF 100/300/1000 mapping")
+
+    parser.add_argument("--mode", choices=["dynopt", "simple"],
+                        default="dynopt")
+    parser.add_argument("--strategy", default="UNC-1",
+                        help="execution strategy (UNC-1/2, CHEAP-1/2, "
+                             "SIMPLE_SO/MO)")
+    parser.add_argument("--backend", choices=["jaql", "hive"],
+                        default="jaql")
+    parser.add_argument("--pilot-mode", choices=["MT", "ST"], default="MT")
+    parser.add_argument("--explain", action="store_true",
+                        help="plan only; do not execute the query")
+    parser.add_argument("--show-plans", action="store_true",
+                        help="print the plan of every (re)optimization")
+    parser.add_argument("--limit", type=int, default=10,
+                        help="result rows to print (default 10)")
+    parser.add_argument("--seed", type=int, default=2014)
+    parser.add_argument("--load-stats", metavar="PATH",
+                        help="pre-load a statistics metastore file")
+    parser.add_argument("--save-stats", metavar="PATH",
+                        help="persist the statistics metastore afterwards")
+    return parser
+
+
+def _scale_factor(args: argparse.Namespace) -> float:
+    if args.paper_sf is not None:
+        return PAPER_SCALE_FACTORS[args.paper_sf]
+    if args.scale_factor is not None:
+        return args.scale_factor
+    return 0.25
+
+
+def _resolve_workload(args: argparse.Namespace):
+    if args.workload:
+        factory = q3 if args.workload == "Q3" else TPCH_WORKLOADS[args.workload]
+        return factory()
+    return None
+
+
+def main(argv: list[str] | None = None,
+         out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+
+    scale_factor = _scale_factor(args)
+    print(f"generating TPC-H at scale factor {scale_factor} ...", file=out)
+    dataset = generate_tpch(scale_factor, seed=args.seed)
+
+    workload = _resolve_workload(args)
+    config = DEFAULT_CONFIG.with_backend(args.backend)
+    dyno = Dyno(dataset.tables, config=config,
+                udfs=workload.udfs if workload else None)
+
+    if args.load_stats:
+        count = dyno.load_statistics(args.load_stats)
+        print(f"loaded {count} statistics entries from "
+              f"{args.load_stats}", file=out)
+
+    if args.sql_file:
+        with open(args.sql_file) as handle:
+            query_text = handle.read()
+    else:
+        query_text = args.sql
+
+    try:
+        if args.explain:
+            query = workload.final_spec if workload else query_text
+            print(dyno.explain(query, name="cli"), file=out)
+        elif workload and len(workload.stages) > 1:
+            execution = dyno.execute_multi(
+                workload.stages, mode=args.mode, strategy=args.strategy,
+                pilot_mode=args.pilot_mode,
+            )
+            _report(execution, args, out)
+        else:
+            query = workload.final_spec if workload else query_text
+            execution = dyno.execute(
+                query, mode=args.mode, strategy=args.strategy,
+                pilot_mode=args.pilot_mode, name="cli",
+            )
+            _report(execution, args, out)
+    except DynoError as error:
+        print(f"error: {error}", file=out)
+        return 1
+
+    if args.save_stats:
+        dyno.save_statistics(args.save_stats)
+        print(f"saved statistics to {args.save_stats}", file=out)
+    return 0
+
+
+def _report(execution, args: argparse.Namespace, out) -> None:
+    rows = execution.rows
+    print(f"\n{len(rows)} result row(s); showing up to {args.limit}:",
+          file=out)
+    for row in rows[: args.limit]:
+        print(f"  {row}", file=out)
+
+    print("\nsimulated time:", file=out)
+    print(f"  pilot runs     {execution.pilot_seconds:10.1f} s", file=out)
+    print(f"  optimizer      {execution.optimizer_seconds:10.2f} s",
+          file=out)
+    print(f"  plan execution {execution.execution_seconds:10.1f} s",
+          file=out)
+    print(f"  total          {execution.total_seconds:10.1f} s", file=out)
+
+    if args.show_plans:
+        for block_result in execution.block_results:
+            print(f"\nblock {block_result.block_name}:", file=out)
+            for record in block_result.iterations:
+                print(f"-- iteration {record.index} "
+                      f"({record.makespan_seconds:.1f}s, jobs "
+                      f"{record.jobs_executed}) --", file=out)
+                print(record.plan_text, file=out)
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""MapReduce job specification and task-side context.
+
+A :class:`MapReduceJob` is what the Jaql compiler produces (one per
+repartition join, one per broadcast-join chain, one per pilot run) and what
+the cluster runtime executes. Mappers and reducers are plain Python
+callables that receive a :class:`TaskContext` -- the moral equivalent of
+Hadoop's ``Mapper.Context`` -- through which they emit records, bump
+counters, charge simulated UDF CPU time, and check the pilot runs' global
+early-stop counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.data.schema import Schema, estimate_value_size
+from repro.data.table import Row
+from repro.errors import JobError
+from repro.storage.dfs import Split
+
+__all__ = [
+    "BroadcastBuild",
+    "MapReduceJob",
+    "Mapper",
+    "Reducer",
+    "TaskContext",
+    "estimate_value_size",
+]
+
+
+class TaskContext:
+    """Per-task execution context handed to mappers and reducers."""
+
+    def __init__(self, should_stop: Callable[[], bool] | None = None,
+                 on_emit: Callable[[int], None] | None = None):
+        self._emitted: list[tuple[Any, Row]] = []
+        self.extra_cpu_seconds = 0.0
+        self._should_stop = should_stop
+        self._on_emit = on_emit
+
+    # -- record emission ------------------------------------------------------
+
+    def emit(self, key: Any, value: Row) -> None:
+        """Emit one keyed record (key is None in map-only jobs)."""
+        self._emitted.append((key, value))
+        if self._on_emit is not None:
+            self._on_emit(1)
+
+    @property
+    def emitted(self) -> list[tuple[Any, Row]]:
+        return self._emitted
+
+    # -- simulated cost hooks --------------------------------------------------
+
+    def charge_cpu(self, seconds: float) -> None:
+        """Account extra simulated CPU time (expensive predicates / UDFs)."""
+        if seconds < 0:
+            raise JobError("cannot charge negative CPU time")
+        self.extra_cpu_seconds += seconds
+
+    # -- early termination (pilot runs) ----------------------------------------
+
+    def should_stop(self) -> bool:
+        """True once the job-global stop condition holds (PILR k-counter)."""
+        if self._should_stop is None:
+            return False
+        return self._should_stop()
+
+
+#: A mapper processes one split: (context, source file name, rows).
+Mapper = Callable[[TaskContext, str, list[Row]], None]
+#: A reducer processes one key group: (context, key, values).
+Reducer = Callable[[TaskContext, Any, list[Row]], None]
+
+
+@dataclass
+class BroadcastBuild:
+    """One broadcast-join build side attached to a job.
+
+    The runtime reads ``input_file`` (accounting the read), applies
+    ``loader`` -- which qualifies rows and applies the build side's local
+    predicates while the hash table is loaded, exactly like Jaql's broadcast
+    join -- and stores the resulting rows in :attr:`rows` for the job's
+    mapper closures to probe. The memory check applies to the *loaded*
+    (post-predicate) size, since that is what actually occupies task memory.
+    """
+
+    input_file: str
+    loader: Callable[[list[Row]], list[Row]]
+    description: str = ""
+    rows: list[Row] | None = None
+    loaded_bytes: int = 0
+
+    def load(self, raw_rows: list[Row]) -> None:
+        self.rows = self.loader(raw_rows)
+        self.loaded_bytes = sum(estimate_value_size(row) for row in self.rows)
+
+    def built_rows(self) -> list[Row]:
+        if self.rows is None:
+            raise JobError(
+                f"broadcast build over {self.input_file!r} was not loaded"
+            )
+        return self.rows
+
+
+@dataclass
+class MapReduceJob:
+    """Everything the runtime needs to execute one job.
+
+    ``splits`` overrides the default "all splits of all inputs" assignment;
+    pilot runs use it to execute over a sampled subset (Section 4.2).
+    ``broadcast_inputs`` are DFS files loaded into every task's memory
+    (broadcast-join build sides); the runtime enforces the no-spill memory
+    limit and fails the job on overflow, like Jaql (Section 2.2.1).
+    """
+
+    name: str
+    inputs: list[str]
+    mapper: Mapper
+    output_name: str
+    output_schema: Schema
+    reducer: Reducer | None = None
+    num_reducers: int = 0
+    splits: list[Split] | None = None
+    broadcast_builds: list[BroadcastBuild] = field(default_factory=list)
+    #: output columns to collect online statistics for (Section 5.4);
+    #: empty means no statistics collection for this job.
+    stats_columns: list[str] = field(default_factory=list)
+    #: free-form description used in plan printouts and experiment logs.
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise JobError(f"job {self.name!r} has no inputs")
+        if self.reducer is not None and self.num_reducers <= 0:
+            raise JobError(
+                f"job {self.name!r} has a reducer but num_reducers="
+                f"{self.num_reducers}"
+            )
+        if self.reducer is None and self.num_reducers:
+            raise JobError(
+                f"job {self.name!r} is map-only but num_reducers="
+                f"{self.num_reducers}"
+            )
+
+    @property
+    def is_map_only(self) -> bool:
+        return self.reducer is None

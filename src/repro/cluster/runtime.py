@@ -1,0 +1,437 @@
+"""Cluster runtime: executes MapReduce jobs over the simulated DFS.
+
+Jobs *really run*: mappers and reducers are applied to the actual rows, so
+join results, UDF outputs and collected statistics are genuine. What is
+simulated is time: each task's duration comes from the analytic cost model,
+and a batch of jobs is scheduled over the cluster's slot pools to obtain
+per-job timelines and the batch makespan.
+
+The runtime also reproduces two paper-critical behaviours:
+
+* broadcast-join build sides are checked against the task memory budget and
+  the job *fails* on overflow (Jaql has no spill path, Section 2.2.1);
+* when a job declares ``stats_columns``, every task accumulates partial
+  statistics over its output and publishes them through the coordination
+  service; the client merges them after the job (Section 5.4).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cluster.coordination import CoordinationService
+from repro.cluster.costmodel import ClusterCostModel, TaskWork
+from repro.cluster.counters import Counters
+from repro.cluster.job import MapReduceJob, TaskContext, estimate_value_size
+from repro.cluster.scheduler import (
+    JobTimeline,
+    ScheduledJob,
+    ScheduleResult,
+    SlotScheduler,
+)
+from repro.config import DynoConfig
+from repro.data.table import Row
+from repro.errors import BroadcastBuildOverflowError, JobError
+from repro.stats.collector import TaskStatsCollector, merge_published_stats
+from repro.stats.kmv import kmv_hash
+from repro.stats.statistics import TableStats
+from repro.storage.dfs import DistributedFileSystem, Split
+
+#: Called with the number of splits already dispatched; returning False
+#: stops dispatching further splits (pilot-run early termination).
+DispatchGate = Callable[[int], bool]
+
+
+@dataclass
+class JobResult:
+    """Everything known about one executed job."""
+
+    job: MapReduceJob
+    output_name: str
+    output_rows: int
+    output_bytes: int
+    counters: Counters
+    map_task_seconds: list[float]
+    reduce_task_seconds: list[float]
+    splits_processed: int
+    splits_total: int
+    collected_stats: TableStats | None = None
+    timeline: JobTimeline | None = None
+
+    @property
+    def elapsed_seconds(self) -> float:
+        if self.timeline is None:
+            raise JobError(f"job {self.job.name!r} has not been scheduled")
+        return self.timeline.elapsed
+
+    @property
+    def scanned_fraction(self) -> float:
+        """Fraction of the input splits actually processed."""
+        if self.splits_total == 0:
+            return 1.0
+        return self.splits_processed / self.splits_total
+
+
+@dataclass
+class BatchResult:
+    """Results of a set of jobs executed as one scheduling batch."""
+
+    results: dict[str, JobResult]
+    makespan: float
+
+    def __getitem__(self, job_name: str) -> JobResult:
+        return self.results[job_name]
+
+    @property
+    def total_task_seconds(self) -> float:
+        """Aggregate cluster work (used for utilization assertions)."""
+        return sum(
+            sum(result.map_task_seconds) + sum(result.reduce_task_seconds)
+            for result in self.results.values()
+        )
+
+
+class ClusterRuntime:
+    """Executes jobs and batches; owns the simulated clock."""
+
+    def __init__(self, dfs: DistributedFileSystem, config: DynoConfig,
+                 coordination: CoordinationService | None = None):
+        self.dfs = dfs
+        self.config = config
+        self.coordination = coordination or CoordinationService()
+        self.cost_model = ClusterCostModel(config.cluster)
+        self.scheduler = SlotScheduler(
+            config.cluster.total_map_slots,
+            config.cluster.total_reduce_slots,
+            policy=config.cluster.scheduler_policy,
+        )
+        #: cumulative simulated time of everything executed through
+        #: :meth:`execute` / :meth:`execute_batch`.
+        self.clock_seconds = 0.0
+        self.jobs_executed = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def execute(self, job: MapReduceJob,
+                gate: DispatchGate | None = None) -> JobResult:
+        """Execute one job and advance the simulated clock."""
+        batch = self.execute_batch([job], gates={job.name: gate} if gate else None)
+        return batch[job.name]
+
+    def execute_batch(
+        self,
+        jobs: list[MapReduceJob],
+        dependencies: dict[str, list[str]] | None = None,
+        gates: dict[str, DispatchGate | None] | None = None,
+    ) -> BatchResult:
+        """Execute jobs as one batch sharing the cluster's slots.
+
+        ``dependencies`` maps a job name to the names of jobs (in the same
+        batch) that must finish before it starts -- used by PILR_ST's
+        sequential submission and by multi-job plan steps.
+        """
+        if not jobs:
+            return BatchResult({}, 0.0)
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise JobError("duplicate job names in batch")
+        dependencies = dependencies or {}
+        gates = gates or {}
+
+        # Data pass: run jobs in an order that respects dependencies so
+        # that inputs are materialized before consumers read them.
+        results: dict[str, JobResult] = {}
+        for job in self._topological(jobs, dependencies):
+            results[job.name] = self._run_job_data(job, gates.get(job.name))
+
+        # Time pass: schedule all tasks over the shared slot pools.
+        scheduled = [
+            ScheduledJob(
+                job_id=job.name,
+                map_durations=results[job.name].map_task_seconds,
+                reduce_durations=results[job.name].reduce_task_seconds,
+                startup_seconds=self.config.cluster.job_startup_seconds,
+                depends_on=list(dependencies.get(job.name, [])),
+            )
+            for job in jobs
+        ]
+        schedule: ScheduleResult = self.scheduler.schedule(scheduled)
+        for name, timeline in schedule.timelines.items():
+            results[name].timeline = timeline
+
+        self.clock_seconds += schedule.makespan
+        self.jobs_executed += len(jobs)
+        return BatchResult(results, schedule.makespan)
+
+    # ------------------------------------------------------------------
+    # data execution
+    # ------------------------------------------------------------------
+
+    def _topological(self, jobs: list[MapReduceJob],
+                     dependencies: dict[str, list[str]]) -> list[MapReduceJob]:
+        by_name = {job.name: job for job in jobs}
+        visited: dict[str, int] = {}  # 0 = visiting, 1 = done
+        ordered: list[MapReduceJob] = []
+
+        def visit(name: str) -> None:
+            state = visited.get(name)
+            if state == 1:
+                return
+            if state == 0:
+                raise JobError(f"dependency cycle involving job {name!r}")
+            visited[name] = 0
+            for dep in dependencies.get(name, []):
+                if dep not in by_name:
+                    raise JobError(
+                        f"job {name!r} depends on {dep!r} not in batch"
+                    )
+                visit(dep)
+            visited[name] = 1
+            ordered.append(by_name[name])
+
+        for job in jobs:
+            visit(job.name)
+        return ordered
+
+    def _load_broadcast_sides(
+        self, job: MapReduceJob, counters: Counters, num_map_tasks: int
+    ) -> float:
+        """Load build sides, enforce task memory, return per-task seconds.
+
+        The read cost covers the raw build files (every task re-reads them
+        under the Jaql backend); the memory check covers the *loaded* rows,
+        i.e. after the build side's local predicates ran -- that is what the
+        in-memory hash table actually holds (Section 2.2.1).
+        """
+        if not job.broadcast_builds:
+            return 0.0
+        read_bytes = 0
+        loaded_bytes = 0
+        loaded_records = 0
+        for build in job.broadcast_builds:
+            raw_rows = self.dfs.read_all(build.input_file)
+            build.load(raw_rows)
+            read_bytes += self.dfs.file_size(build.input_file)
+            loaded_bytes += build.loaded_bytes
+            loaded_records += len(build.built_rows())
+        counters.increment("map", Counters.BROADCAST_BYTES, read_bytes)
+        budget = self.config.cluster.task_memory_bytes
+        if loaded_bytes > budget:
+            raise BroadcastBuildOverflowError(
+                loaded_bytes, budget, job.name,
+                "; ".join(f"{build.description}={build.loaded_bytes}B"
+                          for build in job.broadcast_builds),
+            )
+        return self.cost_model.per_task_build_seconds(
+            read_bytes, loaded_records, num_map_tasks, self.config.backend
+        )
+
+    def _task_attempts(self, job_name: str):
+        """Deterministic per-job failure injector.
+
+        Returns a callable mapping one attempt's duration to the total
+        duration including retried attempts (a failed attempt re-executes
+        from scratch, like Hadoop's task retry).
+        """
+        rate = self.config.cluster.task_failure_rate
+        if rate <= 0.0:
+            return lambda seconds: seconds
+        rng = random.Random(f"failures/{job_name}")
+
+        def with_retries(seconds: float) -> float:
+            total = seconds
+            while rng.random() < rate:
+                total += seconds + self.config.cluster.task_startup_seconds
+            return total
+
+        return with_retries
+
+    def _run_job_data(self, job: MapReduceJob,
+                      gate: DispatchGate | None) -> JobResult:
+        counters = Counters()
+        attempts = self._task_attempts(job.name)
+        splits = job.splits if job.splits is not None else self._all_splits(job)
+        splits_total = len(splits)
+
+        build_seconds = self._load_broadcast_sides(job, counters, len(splits))
+
+        map_outputs: list[tuple[object, Row]] = []
+        map_task_seconds: list[float] = []
+        output_rows: list[Row] = []
+        stat_tasks: list[TaskStatsCollector] = []
+        splits_processed = 0
+
+        for split in splits:
+            if gate is not None and not gate(splits_processed):
+                break
+            splits_processed += 1
+            rows = self.dfs.read_split(split)
+            context = TaskContext()
+            job.mapper(context, split.file_name, rows)
+
+            emitted_bytes = 0
+            if job.is_map_only:
+                task_rows = [value for _, value in context.emitted]
+                for row in task_rows:
+                    emitted_bytes += estimate_value_size(row)
+                output_rows.extend(task_rows)
+                if job.stats_columns:
+                    collector = self._make_collector(job, f"map-{split.index}")
+                    for row in task_rows:
+                        collector.observe(row, estimate_value_size(row))
+                    collector.publish()
+                    stat_tasks.append(collector)
+            else:
+                for key, value in context.emitted:
+                    emitted_bytes += 8 + estimate_value_size(value)
+                map_outputs.extend(context.emitted)
+
+            counters.increment("map", Counters.MAP_INPUT_RECORDS, len(rows))
+            counters.increment("map", Counters.MAP_INPUT_BYTES,
+                               split.size_bytes)
+            counters.increment("map", Counters.MAP_OUTPUT_RECORDS,
+                               len(context.emitted))
+            counters.increment("map", Counters.MAP_OUTPUT_BYTES, emitted_bytes)
+            stats_cpu = 0.0
+            if job.stats_columns and job.is_map_only:
+                stats_cpu = (len(context.emitted)
+                             * self.config.cluster.stats_seconds_per_record)
+            work = TaskWork(
+                input_bytes=split.size_bytes,
+                input_records=len(rows),
+                output_bytes=emitted_bytes,
+                output_records=len(context.emitted),
+                extra_cpu_seconds=context.extra_cpu_seconds + stats_cpu,
+            )
+            map_task_seconds.append(attempts(
+                self.cost_model.map_task_seconds(
+                    work, writes_to_dfs=job.is_map_only,
+                    build_seconds=build_seconds,
+                )
+            ))
+
+        reduce_task_seconds: list[float] = []
+        if not job.is_map_only:
+            output_rows = self._run_reduce_phase(
+                job, map_outputs, counters, reduce_task_seconds,
+                stat_tasks, attempts,
+            )
+
+        output_file = self.dfs.write_rows(
+            job.output_name, job.output_schema, output_rows, overwrite=True
+        )
+        counters.increment("output", Counters.OUTPUT_RECORDS, len(output_rows))
+        counters.increment("output", Counters.OUTPUT_BYTES,
+                           output_file.size_bytes)
+
+        collected: TableStats | None = None
+        if job.stats_columns:
+            collected = merge_published_stats(job.name, self.coordination)
+
+        return JobResult(
+            job=job,
+            output_name=job.output_name,
+            output_rows=len(output_rows),
+            output_bytes=output_file.size_bytes,
+            counters=counters,
+            map_task_seconds=map_task_seconds,
+            reduce_task_seconds=reduce_task_seconds,
+            splits_processed=splits_processed,
+            splits_total=splits_total,
+            collected_stats=collected,
+        )
+
+    def _run_reduce_phase(
+        self,
+        job: MapReduceJob,
+        map_outputs: list[tuple[object, Row]],
+        counters: Counters,
+        reduce_task_seconds: list[float],
+        stat_tasks: list[TaskStatsCollector],
+        attempts=None,
+    ) -> list[Row]:
+        if attempts is None:
+            attempts = self._task_attempts(job.name)
+        num_reducers = job.num_reducers
+        partitions: list[list[tuple[object, Row]]] = [
+            [] for _ in range(num_reducers)
+        ]
+        for key, value in map_outputs:
+            partitions[kmv_hash(key) % num_reducers].append((key, value))
+
+        output_rows: list[Row] = []
+        for partition_id, partition in enumerate(partitions):
+            groups: dict[object, list[Row]] = defaultdict(list)
+            order: dict[object, int] = {}
+            for key, value in partition:
+                frozen = _freeze_key(key)
+                if frozen not in order:
+                    order[frozen] = len(order)
+                groups[frozen].append(value)
+
+            context = TaskContext()
+            shuffle_bytes = sum(
+                8 + estimate_value_size(value) for _, value in partition
+            )
+            # Keys are reduced in a deterministic (sorted-by-arrival) order,
+            # mirroring the framework's sort phase.
+            for frozen in sorted(groups, key=lambda item: order[item]):
+                job.reducer(context, frozen, groups[frozen])  # type: ignore[misc]
+
+            task_rows = [value for _, value in context.emitted]
+            task_bytes = sum(estimate_value_size(row) for row in task_rows)
+            output_rows.extend(task_rows)
+            if job.stats_columns:
+                collector = self._make_collector(job, f"reduce-{partition_id}")
+                for row in task_rows:
+                    collector.observe(row, estimate_value_size(row))
+                collector.publish()
+                stat_tasks.append(collector)
+
+            counters.increment("reduce", Counters.REDUCE_INPUT_RECORDS,
+                               len(partition))
+            counters.increment("reduce", Counters.SHUFFLE_BYTES, shuffle_bytes)
+            counters.increment("reduce", Counters.REDUCE_OUTPUT_RECORDS,
+                               len(task_rows))
+            stats_cpu = 0.0
+            if job.stats_columns:
+                stats_cpu = (len(task_rows)
+                             * self.config.cluster.stats_seconds_per_record)
+            work = TaskWork(
+                input_records=len(partition),
+                output_bytes=task_bytes,
+                output_records=len(task_rows),
+                shuffle_bytes=shuffle_bytes,
+                extra_cpu_seconds=context.extra_cpu_seconds + stats_cpu,
+            )
+            reduce_task_seconds.append(
+                attempts(self.cost_model.reduce_task_seconds(work))
+            )
+        return output_rows
+
+    def _make_collector(self, job: MapReduceJob,
+                        task_id: str) -> TaskStatsCollector:
+        return TaskStatsCollector(
+            job.name, task_id, job.stats_columns, self.coordination,
+            kmv_size=self.config.pilot.kmv_size,
+        )
+
+    def _all_splits(self, job: MapReduceJob) -> list[Split]:
+        splits: list[Split] = []
+        for name in job.inputs:
+            splits.extend(self.dfs.file_splits(name))
+        return splits
+
+
+def _freeze_key(key: object) -> object:
+    """Make join keys hashable/groupable (lists become tuples)."""
+    if isinstance(key, list):
+        return tuple(_freeze_key(item) for item in key)
+    if isinstance(key, tuple):
+        return tuple(_freeze_key(item) for item in key)
+    return key

@@ -1,0 +1,211 @@
+"""Dynamic join operator (paper Section 8, future work).
+
+    "We are also planning to create a new dynamic join operator that
+    switches between a broadcast and repartition join, without waiting for
+    the current job to finish."
+
+This module prototypes that operator at plan granularity: a fixed physical
+plan executes join by join, and immediately before each *repartition* join
+launches, the operator inspects the **actual** sizes of its materialized
+inputs. When one side really fits in task memory -- even though the
+optimizer's estimate said otherwise -- the join switches to a broadcast
+join on the fly, paying a small switch penalty instead of a full shuffle.
+
+Unlike DYNOPT this never re-optimizes: join order and every other method
+choice stay fixed. It is the cheapest possible form of runtime adaptivity,
+and the ablation benchmark (``benchmarks/bench_ablation_dynamic_join.py``)
+measures how much of DYNOPT's benefit this alone recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cluster.runtime import ClusterRuntime
+from repro.config import DynoConfig
+from repro.errors import PlanError
+from repro.jaql.blocks import SOURCE_INTERMEDIATE, BlockLeaf, JoinBlock
+from repro.jaql.compiler import PlanCompiler
+from repro.optimizer.plans import (
+    BROADCAST,
+    REPARTITION,
+    PhysJoin,
+    PhysLeaf,
+    PhysicalNode,
+    plan_signature,
+)
+
+#: Simulated cost of tearing down the planned shuffle and re-launching the
+#: join as a map-only job (the paper's operator would avoid even this).
+SWITCH_PENALTY_SECONDS = 2.0
+
+
+@dataclass
+class DynamicJoinResult:
+    """Outcome of executing one plan with dynamic join switching."""
+
+    output_file: str = ""
+    execution_seconds: float = 0.0
+    switches: int = 0
+    jobs_run: int = 0
+    plan_signatures: list[str] = field(default_factory=list)
+
+
+class DynamicJoinExecutor:
+    """Executes a fixed plan join-by-join with runtime method switching."""
+
+    def __init__(self, runtime: ClusterRuntime, config: DynoConfig):
+        self.runtime = runtime
+        self.config = config
+        self.dfs = runtime.dfs
+
+    def execute_plan(self, block: JoinBlock,
+                     plan: PhysicalNode) -> DynamicJoinResult:
+        result = DynamicJoinResult()
+        step = 0
+        while True:
+            result.plan_signatures.append(plan_signature(plan))
+            if isinstance(plan, PhysLeaf):
+                plan, block = self._finish_leaf(plan, block, result, step)
+                return result
+
+            target = _lowest_ready_join(plan)
+            target, plan, block = self._materialize_filtered_sides(
+                target, plan, block, result, step
+            )
+            target = self._maybe_switch(target, result)
+            compiler = PlanCompiler(self.dfs, self.config,
+                                    f"{block.name}.dj{step}")
+            graph = compiler.compile_block(target)
+            for compiled in graph.jobs:
+                batch = self.runtime.execute_batch([compiled.job])
+                result.execution_seconds += batch.makespan
+                result.jobs_run += 1
+            output = graph.final_output
+            out_file = self.dfs.open(output)
+            new_leaf = PhysLeaf(
+                aliases=target.aliases,
+                est_rows=float(out_file.row_count),
+                est_bytes=float(out_file.size_bytes),
+                cost=0.0,
+                leaf=BlockLeaf(target.aliases, SOURCE_INTERMEDIATE, output),
+            )
+            block = block.substitute(target.aliases, output,
+                                     target.applied_predicates)
+            plan = _replace_subtree(plan, target.aliases, new_leaf)
+            step += 1
+
+    # -- pieces -----------------------------------------------------------------
+
+    def _finish_leaf(self, leaf: PhysLeaf, block: JoinBlock,
+                     result: DynamicJoinResult, step: int):
+        """Single-leaf plan left: materialize it if still a base scan."""
+        if not leaf.leaf.is_base:
+            result.output_file = leaf.leaf.source_name
+            return leaf, block
+        compiler = PlanCompiler(self.dfs, self.config,
+                                f"{block.name}.dj{step}")
+        graph = compiler.compile_block(leaf)
+        for compiled in graph.jobs:
+            batch = self.runtime.execute_batch([compiled.job])
+            result.execution_seconds += batch.makespan
+            result.jobs_run += 1
+        result.output_file = graph.final_output
+        return leaf, block
+
+    def _materialize_filtered_sides(self, join: PhysJoin,
+                                    plan: PhysicalNode, block: JoinBlock,
+                                    result: DynamicJoinResult, step: int):
+        """Run the filter scans of a repartition join's inputs up front.
+
+        A repartition join would scan (and filter) both inputs anyway; by
+        materializing filtered base leaves first, the operator *observes*
+        their true size before committing to the shuffle -- the essence of
+        switching "without waiting for the current job to finish".
+        """
+        if join.method != REPARTITION:
+            return join, plan, block
+        for index, child in enumerate((join.left, join.right)):
+            if not (isinstance(child, PhysLeaf) and child.leaf.is_base
+                    and child.leaf.predicates):
+                continue
+            compiler = PlanCompiler(self.dfs, self.config,
+                                    f"{block.name}.djf{step}_{index}")
+            graph = compiler.compile_block(child)
+            for compiled in graph.jobs:
+                batch = self.runtime.execute_batch([compiled.job])
+                result.execution_seconds += batch.makespan
+                result.jobs_run += 1
+            out_file = self.dfs.open(graph.final_output)
+            new_leaf = PhysLeaf(
+                aliases=child.aliases,
+                est_rows=float(out_file.row_count),
+                est_bytes=float(out_file.size_bytes),
+                cost=0.0,
+                leaf=BlockLeaf(child.aliases, SOURCE_INTERMEDIATE,
+                               graph.final_output),
+            )
+            block = block.substitute(child.aliases, graph.final_output, ())
+            plan = _replace_subtree(plan, child.aliases, new_leaf)
+            join = replace(join, **{"left" if index == 0 else "right":
+                                    new_leaf})
+        return join, plan, block
+
+    def _actual_bytes(self, node: PhysicalNode) -> float | None:
+        """True materialized size, when knowable before launching the job.
+
+        Intermediate leaves are materialized files (exact); base leaves
+        without predicates are the file itself; filtered base leaves are
+        unknown until executed (return None)."""
+        if not isinstance(node, PhysLeaf):
+            return None
+        if not node.leaf.is_base:
+            return float(self.dfs.file_size(node.leaf.source_name))
+        if node.leaf.predicates:
+            return None
+        return float(self.dfs.file_size(node.leaf.source_name))
+
+    def _maybe_switch(self, join: PhysJoin,
+                      result: DynamicJoinResult) -> PhysJoin:
+        if join.method != REPARTITION:
+            return join
+        budget = self.config.cluster.task_memory_bytes
+        left_bytes = self._actual_bytes(join.left)
+        right_bytes = self._actual_bytes(join.right)
+        candidates = []
+        if right_bytes is not None and right_bytes <= budget:
+            candidates.append((right_bytes, join.left, join.right))
+        if left_bytes is not None and left_bytes <= budget:
+            candidates.append((left_bytes, join.right, join.left))
+        if not candidates:
+            return join
+        _, probe, build = min(candidates, key=lambda item: item[0])
+        result.switches += 1
+        result.execution_seconds += SWITCH_PENALTY_SECONDS
+        return replace(join, method=BROADCAST, left=probe, right=build,
+                       chained=False)
+
+
+def _lowest_ready_join(plan: PhysicalNode) -> PhysJoin:
+    """The deepest join whose inputs are both leaves (always exists)."""
+    if isinstance(plan, PhysLeaf):
+        raise PlanError("plan has no joins")
+    assert isinstance(plan, PhysJoin)
+    for child in (plan.left, plan.right):
+        if isinstance(child, PhysJoin):
+            return _lowest_ready_join(child)
+    return plan
+
+
+def _replace_subtree(plan: PhysicalNode, aliases: frozenset[str],
+                     replacement: PhysLeaf) -> PhysicalNode:
+    if plan.aliases == aliases:
+        return replacement
+    if isinstance(plan, PhysLeaf):
+        return plan
+    assert isinstance(plan, PhysJoin)
+    return replace(
+        plan,
+        left=_replace_subtree(plan.left, aliases, replacement),
+        right=_replace_subtree(plan.right, aliases, replacement),
+    )

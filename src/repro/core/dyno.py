@@ -1,0 +1,331 @@
+"""DYNO system facade (paper Section 3, Figure 1).
+
+``Dyno`` owns the whole stack: the simulated DFS holding the base tables,
+the cluster runtime, the statistics metastore, the UDF registry, and the
+DYNOPT executor. A query goes through the paper's steps:
+
+1. parse (or accept a built :class:`QuerySpec`), apply heuristic rewrites
+   (filter/UDF push-down);
+2. extract the join block and the post-join stages;
+3. pilot runs over the block's base leaves;
+4. DYNOPT (or DYNOPT-SIMPLE) execution of the join block;
+5. post-join stages: GROUP BY as one more MapReduce job; ORDER BY and the
+   final projection evaluated client-side (Jaql runs non-parallelizable
+   expressions locally, Section 2.1);
+6. results returned to the client.
+
+Multi-block queries (e.g. TPC-H Q2 with its aggregation subquery) run as a
+sequence of single-block queries whose outputs register as new base tables,
+matching Section 5.1 ("a block can be executed only after all blocks it
+depends on have already been executed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.coordination import CoordinationService
+from repro.cluster.runtime import ClusterRuntime
+from repro.config import DEFAULT_CONFIG, DynoConfig
+from repro.data.schema import (
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    FieldType,
+    Schema,
+)
+from repro.data.table import Row, Table
+from repro.errors import PlanError
+from repro.jaql.blocks import ExtractedQuery, extract_query
+from repro.jaql.compiler import PlanCompiler
+from repro.jaql.expr import GroupBy, OrderBy, Project, QuerySpec
+from repro.jaql.functions import UdfRegistry, default_registry
+from repro.jaql.interpreter import order_key
+from repro.jaql.parser import SqlParser
+from repro.jaql.rewrites import push_down_filters
+from repro.stats.metastore import StatisticsMetastore
+from repro.core.dynopt import (
+    BlockExecutionResult,
+    DynoptExecutor,
+    MODE_DYNOPT,
+)
+
+
+@dataclass
+class QueryExecution:
+    """Result and cost breakdown of one executed query."""
+
+    query_name: str
+    rows: list[Row]
+    block_results: list[BlockExecutionResult] = field(default_factory=list)
+    stage_seconds: float = 0.0
+
+    @property
+    def pilot_seconds(self) -> float:
+        return sum(result.pilot_seconds for result in self.block_results)
+
+    @property
+    def optimizer_seconds(self) -> float:
+        return sum(result.optimizer_seconds for result in self.block_results)
+
+    @property
+    def execution_seconds(self) -> float:
+        return (sum(result.execution_seconds for result in self.block_results)
+                + self.stage_seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.pilot_seconds + self.optimizer_seconds + self.execution_seconds
+
+    @property
+    def plans(self):
+        collected = []
+        for result in self.block_results:
+            collected.extend(result.plans)
+        return collected
+
+
+def infer_schema(rows: list[Row]) -> Schema:
+    """Best-effort schema inference for intermediate tables."""
+    fields: dict[str, FieldType] = {}
+    for row in rows:
+        for name, value in row.items():
+            if name in fields:
+                continue
+            if isinstance(value, bool):
+                fields[name] = BOOL
+            elif isinstance(value, int):
+                fields[name] = INT
+            elif isinstance(value, float):
+                fields[name] = FLOAT
+            elif isinstance(value, str):
+                fields[name] = STRING
+    return Schema(tuple(fields.items()))
+
+
+class Dyno:
+    """End-to-end query execution over the simulated platform."""
+
+    def __init__(self, tables: dict[str, Table],
+                 config: DynoConfig = DEFAULT_CONFIG,
+                 udfs: UdfRegistry | None = None,
+                 metastore: StatisticsMetastore | None = None):
+        from repro.storage.dfs import DistributedFileSystem
+
+        self.config = config
+        self.dfs = DistributedFileSystem(config.cluster.block_size_bytes)
+        self.tables: dict[str, Table] = {}
+        for name, table in tables.items():
+            self.register_table(name, table)
+        self.coordination = CoordinationService()
+        self.runtime = ClusterRuntime(self.dfs, config, self.coordination)
+        self.metastore = metastore or StatisticsMetastore()
+        self.udfs = udfs or default_registry()
+        self.executor = DynoptExecutor(self.runtime, self.metastore,
+                                       self.config)
+
+    # -- catalog ------------------------------------------------------------------------
+
+    def register_table(self, name: str, table: Table) -> None:
+        self.tables[name] = table
+        self.dfs.write_table(table, name=name, overwrite=True)
+
+    # -- query preparation ----------------------------------------------------------------
+
+    def parse(self, sql: str, name: str = "query") -> QuerySpec:
+        return SqlParser(self.udfs).parse(sql, name)
+
+    def prepare(self, query: QuerySpec | str,
+                name: str = "query") -> ExtractedQuery:
+        """Rewrite (push-down) and decompose into block + stages."""
+        spec = self.parse(query, name) if isinstance(query, str) else query
+        pushed = QuerySpec(spec.name, push_down_filters(spec.root),
+                           spec.description)
+        return extract_query(pushed)
+
+    # -- execution -----------------------------------------------------------------------
+
+    def execute(self, query: QuerySpec | str, mode: str = MODE_DYNOPT,
+                strategy: str = "UNC-1", pilot_mode: str = "MT",
+                run_pilots: bool = True, reuse_statistics: bool = True,
+                leaf_stats_override=None, collect_column_stats: bool = True,
+                name: str = "query") -> QueryExecution:
+        extracted = self.prepare(query, name)
+        block_result = self.executor.execute_block(
+            extracted.block,
+            mode=mode,
+            strategy=strategy,
+            pilot_mode=pilot_mode,
+            run_pilots=run_pilots,
+            reuse_statistics=reuse_statistics,
+            leaf_stats_override=leaf_stats_override,
+            collect_column_stats=collect_column_stats,
+        )
+        execution = QueryExecution(extracted.spec.name, [],
+                                   [block_result])
+        execution.rows = self._run_stages(extracted, block_result.output_file,
+                                          execution)
+        return execution
+
+    def explain(self, query: QuerySpec | str, run_pilots: bool = True,
+                name: str = "query") -> str:
+        """Plan a query and return a human-readable report, no execution.
+
+        With ``run_pilots`` the leaf statistics come from pilot runs (which
+        do execute sample jobs, like the real system's EXPLAIN would after
+        step 3 of Figure 1); otherwise ground-truth oracle statistics are
+        used.
+        """
+        from repro.jaql.compiler import PlanCompiler
+        from repro.optimizer.plans import render_plan
+        from repro.optimizer.search import JoinOptimizer
+
+        extracted = self.prepare(query, name)
+        block = extracted.block
+        lines = [block.describe(), ""]
+
+        if run_pilots:
+            report = self.executor.pilot_runner.run(block)
+            block = self.executor._apply_reusable_outputs(block, report)
+            lines.append(
+                f"pilot runs: {report.jobs_run} job(s), "
+                f"{report.simulated_seconds:.1f}s simulated"
+            )
+            leaf_stats = self.executor._leaf_stats(block)
+        else:
+            from repro.core.baselines import oracle_leaf_stats
+
+            leaf_stats = oracle_leaf_stats(self.tables, block)
+            lines.append("statistics: oracle (full scans)")
+        for leaf in block.leaves:
+            stats = leaf_stats[leaf.signature()]
+            lines.append(
+                f"  {leaf.describe()}: ~{stats.row_count:.0f} rows, "
+                f"~{stats.size_bytes:.0f} bytes"
+            )
+
+        result = JoinOptimizer(block, leaf_stats,
+                               self.config.optimizer).optimize()
+        lines += ["", f"best plan (estimated cost {result.cost:.0f}, "
+                      f"{result.plans_considered} candidates):",
+                  render_plan(result.plan, show_estimates=True)]
+
+        graph = PlanCompiler(self.dfs, self.config,
+                             f"{block.name}.explain").compile_block(
+            result.plan
+        )
+        lines += ["", "job graph:", graph.describe()]
+        for stage in extracted.stages:
+            lines.append(f"then: {type(stage).__name__.lower()} stage")
+        return "\n".join(lines)
+
+    def save_statistics(self, path) -> None:
+        """Persist the statistics metastore (Section 4.1's 'file')."""
+        self.metastore.save(path)
+
+    def load_statistics(self, path) -> int:
+        """Merge statistics persisted by an earlier session; returns count."""
+        loaded = StatisticsMetastore.load(path)
+        count = 0
+        for signature in loaded:
+            self.metastore.put(signature, loaded.get(signature))
+            count += 1
+        return count
+
+    def execute_with_plan(self, query: QuerySpec | str, plan,
+                          name: str = "query") -> QueryExecution:
+        """Execute a caller-provided physical plan (baseline replay path).
+
+        The plan's join order/methods are taken as-is -- the paper's
+        "hand-written" and "hand-coded" plans; post-join stages still run.
+        """
+        extracted = self.prepare(query, name)
+        block_result = self.executor.execute_physical_plan(
+            extracted.block, plan, label="static"
+        )
+        execution = QueryExecution(extracted.spec.name, [], [block_result])
+        execution.rows = self._run_stages(extracted, block_result.output_file,
+                                          execution)
+        return execution
+
+    def execute_multi(self, stages: list[tuple[QuerySpec | str, str | None]],
+                      **execute_kwargs) -> QueryExecution:
+        """Execute dependent blocks in sequence (Section 5.1).
+
+        Each element is ``(query, output_table_name)``; intermediate results
+        register as base tables for later stages. The final stage must have
+        ``None`` as its output name; its rows are returned.
+        """
+        if not stages:
+            raise PlanError("execute_multi requires at least one stage")
+        combined: QueryExecution | None = None
+        for position, (query, output_name) in enumerate(stages):
+            execution = self.execute(
+                query, name=f"stage{position}", **execute_kwargs
+            )
+            if combined is None:
+                combined = QueryExecution(execution.query_name, [])
+            combined.block_results.extend(execution.block_results)
+            combined.stage_seconds += execution.stage_seconds
+            is_last = position == len(stages) - 1
+            if is_last:
+                if output_name is not None:
+                    raise PlanError("final stage must not name an output")
+                combined.rows = execution.rows
+            else:
+                if output_name is None:
+                    raise PlanError(
+                        f"intermediate stage {position} needs an output name"
+                    )
+                table = Table(output_name, infer_schema(execution.rows),
+                              execution.rows)
+                self.register_table(output_name, table)
+        assert combined is not None
+        return combined
+
+    # -- post-join stages --------------------------------------------------------------------
+
+    def _run_stages(self, extracted: ExtractedQuery, block_output: str,
+                    execution: QueryExecution) -> list[Row]:
+        current_file = block_output
+        rows: list[Row] | None = None
+        for stage in extracted.stages:
+            if isinstance(stage, GroupBy):
+                if rows is not None:
+                    raise PlanError(
+                        "GROUP BY after a client-side stage is unsupported"
+                    )
+                compiler = PlanCompiler(
+                    self.dfs, self.config,
+                    f"{extracted.spec.name}.stage",
+                )
+                compiled = compiler.compile_group_by(current_file, stage)
+                batch = self.runtime.execute_batch([compiled.job])
+                execution.stage_seconds += batch.makespan
+                current_file = compiled.job.output_name
+            elif isinstance(stage, OrderBy):
+                rows = self._client_rows(current_file, rows)
+                rows = sorted(
+                    rows,
+                    key=lambda row: tuple(
+                        order_key(ref.evaluate(row)) for ref in stage.keys
+                    ),
+                    reverse=stage.descending,
+                )
+                if stage.limit is not None:
+                    rows = rows[: stage.limit]
+            elif isinstance(stage, Project):
+                rows = self._client_rows(current_file, rows)
+                rows = [stage.project_row(row) for row in rows]
+            else:  # pragma: no cover - extract_query only yields these
+                raise PlanError(
+                    f"unsupported stage {type(stage).__name__}"
+                )
+        return self._client_rows(current_file, rows)
+
+    def _client_rows(self, current_file: str,
+                     rows: list[Row] | None) -> list[Row]:
+        if rows is not None:
+            return rows
+        return self.dfs.read_all(current_file)

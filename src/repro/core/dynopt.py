@@ -1,0 +1,435 @@
+"""DYNOPT: dynamic plan execution with re-optimization (Alg. 2, Section 5).
+
+Each iteration: optimize the remaining join block with the cost-based
+optimizer, compile the best plan to a MapReduce job graph, execute only the
+leaf jobs picked by the execution strategy, collect statistics over their
+materialized outputs, substitute the executed sub-plans by intermediate
+leaves, and loop until the block is fully executed.
+
+``mode="simple"`` gives DYNOPT-SIMPLE (Section 6.1): pilot runs feed one
+optimization, the resulting plan executes to completion with no statistics
+collection and no re-optimization -- either one job at a time (SIMPLE_SO)
+or with every ready job overlapped (SIMPLE_MO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.runtime import ClusterRuntime, JobResult
+from repro.config import DynoConfig
+from repro.errors import PlanError
+from repro.jaql.blocks import JoinBlock
+from repro.jaql.compiler import CompiledJob, PlanCompiler
+from repro.optimizer.plans import PhysicalNode, plan_signature, render_plan
+from repro.optimizer.search import JoinOptimizer
+from repro.stats.metastore import StatisticsMetastore
+from repro.stats.statistics import TableStats
+from repro.core.pilot import (
+    PilotReport,
+    PilotRunner,
+    composite_join_columns,
+    predicate_columns,
+)
+from repro.core.strategies import ExecutionStrategy, strategy_named
+
+MODE_DYNOPT = "dynopt"
+MODE_SIMPLE = "simple"
+
+
+@dataclass
+class IterationRecord:
+    """One optimize-execute round."""
+
+    index: int
+    plan_signature: str
+    plan_text: str
+    estimated_cost: float
+    jobs_executed: list[str]
+    makespan_seconds: float
+    optimizer_seconds: float
+    collected_statistics: bool
+    #: output records that passed through statistics collectors this
+    #: iteration (drives the Figure 4 stats-collection overhead report).
+    stats_records: int = 0
+
+
+@dataclass
+class BlockExecutionResult:
+    """Everything measured while executing one join block."""
+
+    block_name: str
+    mode: str
+    output_file: str = ""
+    iterations: list[IterationRecord] = field(default_factory=list)
+    plans: list[PhysicalNode] = field(default_factory=list)
+    pilot: PilotReport | None = None
+    #: simulated time components (seconds).
+    pilot_seconds: float = 0.0
+    optimizer_seconds: float = 0.0
+    execution_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.pilot_seconds + self.optimizer_seconds + self.execution_seconds
+
+    @property
+    def reoptimization_count(self) -> int:
+        """Optimizer invocations beyond the first."""
+        return max(0, len(self.iterations) - 1)
+
+    @property
+    def plan_changes(self) -> int:
+        """How many re-optimizations actually changed the plan shape."""
+        changes = 0
+        for before, after in zip(self.iterations, self.iterations[1:]):
+            if before.plan_signature != after.plan_signature:
+                changes += 1
+        return changes
+
+
+class DynoptExecutor:
+    """Executes join blocks under DYNOPT or DYNOPT-SIMPLE."""
+
+    def __init__(self, runtime: ClusterRuntime,
+                 metastore: StatisticsMetastore, config: DynoConfig):
+        self.runtime = runtime
+        self.metastore = metastore
+        self.config = config
+        self.pilot_runner = PilotRunner(runtime, metastore, config)
+
+    # -- public ---------------------------------------------------------------------
+
+    def execute_block(
+        self,
+        block: JoinBlock,
+        mode: str = MODE_DYNOPT,
+        strategy: ExecutionStrategy | str = "UNC-1",
+        pilot_mode: str = "MT",
+        run_pilots: bool = True,
+        reuse_statistics: bool = True,
+        leaf_stats_override: dict[str, TableStats] | None = None,
+        collect_column_stats: bool = True,
+    ) -> BlockExecutionResult:
+        """Run one join block to completion; returns timings and plans.
+
+        ``leaf_stats_override`` bypasses pilot runs with caller-provided
+        leaf statistics (used by the RELOPT baseline).
+        """
+        if mode not in (MODE_DYNOPT, MODE_SIMPLE):
+            raise PlanError(f"unknown execution mode: {mode!r}")
+        if isinstance(strategy, str):
+            strategy = strategy_named(strategy)
+
+        result = BlockExecutionResult(block.name, mode)
+
+        if leaf_stats_override is not None:
+            for signature, stats in leaf_stats_override.items():
+                self.metastore.put(signature, stats)
+        elif run_pilots:
+            report = self.pilot_runner.run(
+                block, mode=pilot_mode, reuse_statistics=reuse_statistics
+            )
+            result.pilot = report
+            result.pilot_seconds = report.simulated_seconds
+            block = self._apply_reusable_outputs(block, report)
+
+        if mode == MODE_SIMPLE:
+            self._execute_simple(block, strategy, result)
+        else:
+            self._execute_dynamic(block, strategy, result,
+                                  collect_column_stats)
+        return result
+
+    # -- DYNOPT loop ------------------------------------------------------------------
+
+    def _execute_dynamic(self, block: JoinBlock,
+                         strategy: ExecutionStrategy,
+                         result: BlockExecutionResult,
+                         collect_column_stats: bool = True) -> None:
+        """The optimize-execute loop of Algorithm 2.
+
+        With ``reoptimize_every_job`` (the paper's default policy) every
+        completed step re-invokes the optimizer. Otherwise re-optimization
+        is *conditional* (Section 5.1): the current job graph keeps
+        executing as long as each job's observed output cardinality stays
+        within ``reoptimization_threshold`` of its estimate.
+        """
+        iteration = 0
+        while True:
+            finished = self._finished_output(block)
+            if finished is not None:
+                result.output_file = finished
+                return
+
+            optimization = self._optimize(block)
+            result.optimizer_seconds += optimization.simulated_seconds
+            result.plans.append(optimization.plan)
+
+            compiler = self._compiler(f"{block.name}.it{iteration}")
+            graph = compiler.compile_block(optimization.plan)
+            if graph.trivial:
+                result.output_file = graph.final_output
+                return
+
+            completed: set[str] = set()
+            while len(completed) < graph.job_count:
+                ready = graph.leaf_jobs(completed)
+                chosen = strategy.choose(ready)
+                if not chosen:
+                    raise PlanError(
+                        f"no ready jobs in block {block.name!r} "
+                        f"(graph: {graph.describe()})"
+                    )
+                last_round = (len(completed) + len(chosen)
+                              == graph.job_count)
+                if not last_round and collect_column_stats:
+                    for compiled in chosen:
+                        compiled.job.stats_columns = self._stats_columns(
+                            block, chosen, compiled
+                        )
+
+                batch = self.runtime.execute_batch(
+                    [c.job for c in chosen]
+                )
+                result.execution_seconds += batch.makespan
+                stats_records = sum(
+                    batch[c.name].output_rows for c in chosen
+                    if c.job.stats_columns
+                )
+                result.iterations.append(IterationRecord(
+                    index=iteration,
+                    plan_signature=plan_signature(optimization.plan),
+                    plan_text=render_plan(optimization.plan),
+                    estimated_cost=optimization.cost,
+                    jobs_executed=[c.name for c in chosen],
+                    makespan_seconds=batch.makespan,
+                    optimizer_seconds=(optimization.simulated_seconds
+                                       if not completed else 0.0),
+                    collected_statistics=not last_round,
+                    stats_records=stats_records,
+                ))
+                iteration += 1
+
+                surprised = False
+                for compiled in chosen:
+                    job_result = batch[compiled.name]
+                    block = self._substitute(block, compiled, job_result)
+                    completed.add(compiled.name)
+                    if self._estimate_missed(compiled, job_result):
+                        surprised = True
+                if len(completed) == graph.job_count:
+                    break
+                if self.config.reoptimize_every_job or surprised:
+                    break  # back to the optimizer with fresh statistics
+
+    def _estimate_missed(self, compiled: CompiledJob,
+                         job_result: JobResult) -> bool:
+        """Did the observed cardinality deviate beyond the threshold?"""
+        estimated = max(compiled.estimated_rows, 1.0)
+        observed = float(job_result.output_rows)
+        deviation = abs(observed - estimated) / estimated
+        return deviation > self.config.reoptimization_threshold
+
+    # -- DYNOPT-SIMPLE ------------------------------------------------------------------
+
+    def execute_physical_plan(
+        self,
+        block: JoinBlock,
+        plan: PhysicalNode,
+        strategy: ExecutionStrategy | str = "SIMPLE_MO",
+        estimated_cost: float | None = None,
+        label: str = "plan",
+    ) -> BlockExecutionResult:
+        """Execute a caller-provided physical plan without optimization.
+
+        Used by the baselines (BESTSTATICJAQL hand-written plans, RELOPT
+        plans "hand-coded to a Jaql script", Section 6.1).
+        """
+        if isinstance(strategy, str):
+            strategy = strategy_named(strategy)
+        result = BlockExecutionResult(block.name, MODE_SIMPLE)
+        result.plans.append(plan)
+        self._run_graph(
+            block, plan,
+            estimated_cost if estimated_cost is not None else plan.cost,
+            0.0, strategy, result, label,
+        )
+        return result
+
+    def _execute_simple(self, block: JoinBlock,
+                        strategy: ExecutionStrategy,
+                        result: BlockExecutionResult) -> None:
+        finished = self._finished_output(block)
+        if finished is not None:
+            result.output_file = finished
+            return
+
+        optimization = self._optimize(block)
+        result.optimizer_seconds += optimization.simulated_seconds
+        result.plans.append(optimization.plan)
+        self._run_graph(
+            block, optimization.plan, optimization.cost,
+            optimization.simulated_seconds, strategy, result, "s0",
+        )
+
+    def _run_graph(self, block: JoinBlock, plan: PhysicalNode,
+                   estimated_cost: float, optimizer_seconds: float,
+                   strategy: ExecutionStrategy,
+                   result: BlockExecutionResult, label: str) -> None:
+        compiler = self._compiler(f"{block.name}.{label}")
+        graph = compiler.compile_block(plan)
+        if graph.trivial:
+            result.output_file = graph.final_output
+            return
+
+        if strategy.parallelism is None:
+            # MO: one batch, the scheduler overlaps independent jobs.
+            dependencies = {
+                compiled.name: list(compiled.depends_on)
+                for compiled in graph.jobs
+            }
+            batch = self.runtime.execute_batch(
+                [compiled.job for compiled in graph.jobs], dependencies
+            )
+            result.execution_seconds += batch.makespan
+            result.iterations.append(IterationRecord(
+                index=0,
+                plan_signature=plan_signature(plan),
+                plan_text=render_plan(plan),
+                estimated_cost=estimated_cost,
+                jobs_executed=[compiled.name for compiled in graph.jobs],
+                makespan_seconds=batch.makespan,
+                optimizer_seconds=optimizer_seconds,
+                collected_statistics=False,
+            ))
+        else:
+            completed: set[str] = set()
+            index = 0
+            while len(completed) < graph.job_count:
+                ready = graph.leaf_jobs(completed)
+                chosen = strategy.choose(ready)
+                if not chosen:
+                    raise PlanError(
+                        f"stuck executing block {block.name!r}: no ready jobs"
+                    )
+                batch = self.runtime.execute_batch(
+                    [compiled.job for compiled in chosen]
+                )
+                result.execution_seconds += batch.makespan
+                result.iterations.append(IterationRecord(
+                    index=index,
+                    plan_signature=plan_signature(plan),
+                    plan_text=render_plan(plan),
+                    estimated_cost=estimated_cost,
+                    jobs_executed=[compiled.name for compiled in chosen],
+                    makespan_seconds=batch.makespan,
+                    optimizer_seconds=(
+                        optimizer_seconds if index == 0 else 0.0
+                    ),
+                    collected_statistics=False,
+                ))
+                completed.update(compiled.name for compiled in chosen)
+                index += 1
+        result.output_file = graph.final_output
+
+    # -- helpers --------------------------------------------------------------------------
+
+    def _optimize(self, block: JoinBlock):
+        leaf_stats = self._leaf_stats(block)
+        optimizer = JoinOptimizer(block, leaf_stats, self.config.optimizer)
+        return optimizer.optimize()
+
+    def _compiler(self, prefix: str) -> PlanCompiler:
+        return PlanCompiler(self.runtime.dfs, self.config, prefix)
+
+    def _leaf_stats(self, block: JoinBlock) -> dict[str, TableStats]:
+        stats: dict[str, TableStats] = {}
+        for leaf in block.leaves:
+            signature = leaf.signature()
+            entry = self.metastore.get(signature)
+            if entry is None:
+                raise PlanError(
+                    f"no statistics for leaf {leaf.describe()}; run pilots "
+                    f"or provide leaf_stats_override"
+                )
+            stats[signature] = entry
+        return stats
+
+    def _finished_output(self, block: JoinBlock) -> str | None:
+        if len(block.leaves) == 1 and not block.leaves[0].is_base:
+            if block.non_local_predicates or block.conditions:
+                raise PlanError(
+                    f"block {block.name!r} fully merged but work remains"
+                )
+            return block.leaves[0].source_name
+        return None
+
+    def _apply_reusable_outputs(self, block: JoinBlock,
+                                report: PilotReport) -> JoinBlock:
+        """Selective-predicate optimization (Section 4.1): pilot outputs
+        covering the whole relation replace their leaf."""
+        for leaf in block.base_leaves():
+            outcome = report.outcomes.get(leaf.signature())
+            if outcome is None or outcome.reusable_output is None:
+                continue
+            if outcome.alias not in leaf.aliases:
+                # Self-joins share one pilot run per signature, but its
+                # output rows are qualified under the alias that ran it.
+                continue
+            if len(block.leaves) == 1:
+                continue  # keep the final job; nothing to substitute into
+            self.metastore.put(
+                f"intermediate:{outcome.reusable_output}", outcome.stats
+            )
+            block = block.substitute(
+                leaf.aliases, outcome.reusable_output, ()
+            )
+        return block
+
+    def _stats_columns(self, block: JoinBlock, chosen: list[CompiledJob],
+                       job: CompiledJob) -> list[str]:
+        """Columns of this job's output needed to re-optimize the remainder
+        (Section 5.4: only attributes in still-unexecuted join conditions)."""
+        executed_sets = [compiled.output_aliases for compiled in chosen]
+        applied: set = set()
+        for compiled in chosen:
+            applied.update(compiled.applied_predicates)
+        columns: set[str] = set()
+        for condition in block.conditions:
+            if any(condition.aliases() <= aliases for aliases in executed_sets):
+                continue  # evaluated inside an executed job
+            for ref in (condition.left, condition.right):
+                if ref.alias in job.output_aliases:
+                    columns.add(ref.qualified)
+        for predicate in block.non_local_predicates:
+            if predicate in applied:
+                continue
+            if predicate.references() & job.output_aliases:
+                columns.update(
+                    predicate_columns(predicate, job.output_aliases)
+                )
+        columns.update(composite_join_columns(block, job.output_aliases))
+        return sorted(columns)
+
+    def _substitute(self, block: JoinBlock, compiled: CompiledJob,
+                    job_result: JobResult) -> JoinBlock:
+        output = job_result.output_name
+        stats = job_result.collected_stats
+        if stats is None:
+            stats = TableStats(
+                float(job_result.output_rows),
+                float(job_result.output_bytes),
+                exact=True,
+            )
+        else:
+            stats = TableStats(
+                float(job_result.output_rows),
+                float(job_result.output_bytes),
+                dict(stats.columns),
+                exact=True,
+            )
+        self.metastore.put(f"intermediate:{output}", stats)
+        return block.substitute(
+            compiled.output_aliases, output, compiled.applied_predicates
+        )

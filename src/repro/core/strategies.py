@@ -1,0 +1,76 @@
+"""Execution strategies: choosing which leaf jobs to run (Section 5.3).
+
+A strategy looks at the *ready* (leaf) jobs of the compiled plan and picks
+which to submit in this iteration. Two dimensions matter (paper):
+
+* **priority** -- by estimated *cost* (reach a re-optimization point fast)
+  or by *uncertainty* (the number of joins in the job: join-size estimation
+  error grows exponentially with the number of joins [27], so running the
+  most uncertain job first yields the most informative statistics);
+* **parallelism** -- how many jobs to run at once. More parallelism uses
+  the cluster better but removes re-optimization points (Figure 5's
+  central trade-off: UNC-1 wins for Q7/Q8' despite lower utilization).
+
+The SIMPLE_* strategies drive DYNOPT-SIMPLE (no re-optimization): SO runs
+one job at a time, MO overlaps every ready job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlanError
+from repro.jaql.compiler import CompiledJob
+
+
+@dataclass(frozen=True)
+class ExecutionStrategy:
+    """Deterministic job picker: named (priority, parallelism) combination."""
+
+    name: str
+    #: "cost", "uncertainty", or "fifo" (compilation order).
+    priority: str
+    #: how many jobs to submit per iteration; None = all ready jobs.
+    parallelism: int | None
+
+    def choose(self, ready: list[CompiledJob]) -> list[CompiledJob]:
+        if not ready:
+            return []
+        ordered = self._order(ready)
+        if self.parallelism is None:
+            return ordered
+        return ordered[: self.parallelism]
+
+    def _order(self, ready: list[CompiledJob]) -> list[CompiledJob]:
+        if self.priority == "fifo":
+            return list(ready)
+        if self.priority == "cost":
+            return sorted(ready, key=lambda j: (j.estimated_cost, j.name))
+        if self.priority == "uncertainty":
+            # Most joins first; cheapest first among equally uncertain jobs
+            # ("the two cheapest most uncertain leaf jobs", Section 6.3).
+            return sorted(
+                ready, key=lambda j: (-j.join_count, j.estimated_cost, j.name)
+            )
+        raise PlanError(f"unknown strategy priority: {self.priority!r}")
+
+
+#: The strategy set evaluated in Figure 5.
+STRATEGIES: dict[str, ExecutionStrategy] = {
+    "UNC-1": ExecutionStrategy("UNC-1", "uncertainty", 1),
+    "UNC-2": ExecutionStrategy("UNC-2", "uncertainty", 2),
+    "CHEAP-1": ExecutionStrategy("CHEAP-1", "cost", 1),
+    "CHEAP-2": ExecutionStrategy("CHEAP-2", "cost", 2),
+    "SIMPLE_SO": ExecutionStrategy("SIMPLE_SO", "fifo", 1),
+    "SIMPLE_MO": ExecutionStrategy("SIMPLE_MO", "fifo", None),
+}
+
+
+def strategy_named(name: str) -> ExecutionStrategy:
+    try:
+        return STRATEGIES[name]
+    except KeyError:
+        raise PlanError(
+            f"unknown execution strategy {name!r}; "
+            f"choose one of {sorted(STRATEGIES)}"
+        ) from None

@@ -1,0 +1,352 @@
+"""Schema description for semistructured (JSON-like) tables.
+
+Jaql operates on JSON-like records where nested arrays and structs are
+pervasive (paper, Section 1). The schema layer here is deliberately
+lightweight: it names the fields of a record, gives each a type descriptor
+used for validation and byte-size estimation, and supports nested *paths*
+such as ``addr[0].zip`` (the restaurant example, Section 4.1).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import SchemaError
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+#: Atomic type tags understood by the schema layer.
+ATOMIC_TYPES = ("int", "float", "string", "bool", "date")
+
+#: Approximate on-disk bytes for a serialized value of each atomic type.
+#: These drive the simulator's byte accounting (average record size etc.),
+#: mirroring how the paper computes ``rec_size_avg = size(Ro)/|Ro|``.
+_ATOMIC_SIZES = {"int": 8, "float": 8, "string": 16, "bool": 1, "date": 10}
+
+
+@dataclass(frozen=True)
+class FieldType:
+    """Type descriptor: atomic, ``array<elem>``, or ``struct{...}``.
+
+    ``kind`` is one of :data:`ATOMIC_TYPES`, ``"array"`` or ``"struct"``.
+    For arrays, ``element`` holds the element type; for structs, ``fields``
+    maps member names to their types.
+    """
+
+    kind: str
+    element: "FieldType | None" = None
+    fields: tuple[tuple[str, "FieldType"], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind in ATOMIC_TYPES:
+            return
+        if self.kind == "array":
+            if self.element is None:
+                raise SchemaError("array type requires an element type")
+        elif self.kind == "struct":
+            if not self.fields:
+                raise SchemaError("struct type requires at least one field")
+        else:
+            raise SchemaError(f"unknown type kind: {self.kind!r}")
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def atomic(kind: str) -> "FieldType":
+        if kind not in ATOMIC_TYPES:
+            raise SchemaError(f"not an atomic type: {kind!r}")
+        return FieldType(kind)
+
+    @staticmethod
+    def array(element: "FieldType") -> "FieldType":
+        return FieldType("array", element=element)
+
+    @staticmethod
+    def struct(**members: "FieldType") -> "FieldType":
+        return FieldType("struct", fields=tuple(members.items()))
+
+    # -- behaviour ----------------------------------------------------------
+
+    def validate(self, value: Any) -> bool:
+        """Return True when ``value`` conforms to this type (None allowed)."""
+        if value is None:
+            return True
+        if self.kind == "int":
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self.kind == "float":
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self.kind == "string" or self.kind == "date":
+            return isinstance(value, str)
+        if self.kind == "bool":
+            return isinstance(value, bool)
+        if self.kind == "array":
+            assert self.element is not None
+            return isinstance(value, list) and all(
+                self.element.validate(item) for item in value
+            )
+        # struct
+        if not isinstance(value, dict):
+            return False
+        members = dict(self.fields)
+        return all(key in members and members[key].validate(item)
+                   for key, item in value.items())
+
+    def estimated_size(self, value: Any) -> int:
+        """Approximate serialized byte size of ``value`` under this type."""
+        if value is None:
+            return 1
+        if self.kind in _ATOMIC_SIZES:
+            if self.kind == "string":
+                return max(1, len(value))
+            return _ATOMIC_SIZES[self.kind]
+        if self.kind == "array":
+            assert self.element is not None
+            return 2 + sum(self.element.estimated_size(item) for item in value)
+        members = dict(self.fields)
+        return 2 + sum(
+            len(key) + members[key].estimated_size(item)
+            for key, item in value.items()
+            if key in members
+        )
+
+    def describe(self) -> str:
+        if self.kind in ATOMIC_TYPES:
+            return self.kind
+        if self.kind == "array":
+            assert self.element is not None
+            return f"array<{self.element.describe()}>"
+        inner = ", ".join(f"{name}: {t.describe()}" for name, t in self.fields)
+        return f"struct{{{inner}}}"
+
+
+def estimate_value_size(value: Any) -> int:
+    """Schema-free estimate of the serialized size of a JSON-like value.
+
+    Used wherever records do not match a declared schema: shuffle traffic,
+    tagged join records, and intermediate job outputs.
+    """
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, str):
+        return max(1, len(value))
+    if isinstance(value, (list, tuple)):
+        return 2 + sum(estimate_value_size(item) for item in value)
+    if isinstance(value, dict):
+        return 2 + sum(
+            len(str(key)) + 2 + estimate_value_size(item)
+            for key, item in value.items()
+        )
+    return 8
+
+
+# Convenience singletons for the common atomics.
+INT = FieldType.atomic("int")
+FLOAT = FieldType.atomic("float")
+STRING = FieldType.atomic("string")
+BOOL = FieldType.atomic("bool")
+DATE = FieldType.atomic("date")
+
+
+# ---------------------------------------------------------------------------
+# Paths
+# ---------------------------------------------------------------------------
+
+_PATH_TOKEN = re.compile(r"([A-Za-z_][A-Za-z_0-9]*)|\[(\d+)\]|(\.)")
+
+
+@dataclass(frozen=True)
+class Path:
+    """A navigation path into a record, e.g. ``addr[0].zip``.
+
+    Steps are either field names (str) or array indexes (int). The first
+    step is always a field name (the top-level attribute).
+    """
+
+    steps: tuple[str | int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise SchemaError("empty path")
+        if not isinstance(self.steps[0], str):
+            raise SchemaError("path must start with a field name")
+
+    @staticmethod
+    def parse(text: str) -> "Path":
+        """Parse ``a[0].b`` style path text into a :class:`Path`."""
+        steps: list[str | int] = []
+        pos = 0
+        expecting_name = True
+        while pos < len(text):
+            match = _PATH_TOKEN.match(text, pos)
+            if match is None:
+                raise SchemaError(f"bad path syntax: {text!r} at offset {pos}")
+            name, index, dot = match.groups()
+            if name is not None:
+                if not expecting_name:
+                    raise SchemaError(f"unexpected name in path: {text!r}")
+                steps.append(name)
+                expecting_name = False
+            elif index is not None:
+                if expecting_name:
+                    raise SchemaError(f"unexpected index in path: {text!r}")
+                steps.append(int(index))
+            else:
+                assert dot is not None
+                if expecting_name:
+                    raise SchemaError(f"unexpected '.' in path: {text!r}")
+                expecting_name = True
+            pos = match.end()
+        if expecting_name or not steps:
+            raise SchemaError(f"incomplete path: {text!r}")
+        return Path(tuple(steps))
+
+    @property
+    def root(self) -> str:
+        """The top-level attribute this path starts from."""
+        first = self.steps[0]
+        assert isinstance(first, str)
+        return first
+
+    def evaluate(self, record: dict[str, Any]) -> Any:
+        """Navigate ``record``; missing fields / out-of-range yield None."""
+        value: Any = record
+        for step in self.steps:
+            if value is None:
+                return None
+            if isinstance(step, str):
+                if not isinstance(value, dict):
+                    return None
+                value = value.get(step)
+            else:
+                if not isinstance(value, list) or step >= len(value):
+                    return None
+                value = value[step]
+        return value
+
+    def describe(self) -> str:
+        parts: list[str] = []
+        for step in self.steps:
+            if isinstance(step, str):
+                parts.append(step if not parts else f".{step}")
+            else:
+                parts.append(f"[{step}]")
+        return "".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+# ---------------------------------------------------------------------------
+# Schema
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered set of named, typed top-level fields."""
+
+    fields: tuple[tuple[str, FieldType], ...]
+    _index: dict[str, FieldType] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        seen: set[str] = set()
+        for name, _ in self.fields:
+            if name in seen:
+                raise SchemaError(f"duplicate field name: {name!r}")
+            seen.add(name)
+        object.__setattr__(
+            self, "_index", {name: ftype for name, ftype in self.fields}
+        )
+
+    @staticmethod
+    def of(**members: FieldType) -> "Schema":
+        return Schema(tuple(members.items()))
+
+    # -- lookups ------------------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.fields)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __iter__(self) -> Iterator[tuple[str, FieldType]]:
+        return iter(self.fields)
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def type_of(self, name: str) -> FieldType:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"no such field: {name!r}") from None
+
+    # -- derivations --------------------------------------------------------
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Schema restricted to ``names`` (in the given order)."""
+        return Schema(tuple((name, self.type_of(name)) for name in names))
+
+    def merge(self, other: "Schema") -> "Schema":
+        """Union of two schemas; duplicate names must agree on type."""
+        merged = list(self.fields)
+        for name, ftype in other.fields:
+            if name in self._index:
+                if self._index[name] != ftype:
+                    raise SchemaError(
+                        f"field {name!r} has conflicting types in merge"
+                    )
+                continue
+            merged.append((name, ftype))
+        return Schema(tuple(merged))
+
+    def rename_prefixed(self, prefix: str) -> "Schema":
+        """Schema with every field renamed ``prefix.name`` -> flat name."""
+        return Schema(
+            tuple((f"{prefix}_{name}", ftype) for name, ftype in self.fields)
+        )
+
+    # -- row-level behaviour -------------------------------------------------
+
+    def validate_row(self, row: dict[str, Any]) -> None:
+        """Raise :class:`SchemaError` when ``row`` does not conform."""
+        for name, value in row.items():
+            if name not in self._index:
+                raise SchemaError(f"unexpected field {name!r} in row")
+            if not self._index[name].validate(value):
+                raise SchemaError(
+                    f"value {value!r} does not match type "
+                    f"{self._index[name].describe()} for field {name!r}"
+                )
+
+    def estimated_row_size(self, row: dict[str, Any]) -> int:
+        """Approximate serialized byte size of ``row`` (drives DFS sizes).
+
+        Fields outside the schema (intermediate results carry plan-specific
+        qualified fields) fall back to the schema-free estimator so byte
+        accounting stays consistent end to end.
+        """
+        total = 2  # record framing
+        for name, value in row.items():
+            ftype = self._index.get(name)
+            if ftype is None:
+                total += len(name) + 2 + estimate_value_size(value)
+                continue
+            total += len(name) + 2 + ftype.estimated_size(value)
+        return total
+
+    def describe(self) -> str:
+        inner = ", ".join(f"{name}: {t.describe()}" for name, t in self.fields)
+        return f"schema {{{inner}}}"

@@ -1,0 +1,106 @@
+"""In-memory tables: a schema plus a list of JSON-like rows.
+
+A :class:`Table` is the unit loaded into the simulated DFS. Byte sizes are
+estimated from the schema so that the cluster simulator's I/O accounting,
+split sizing and the optimizer's ``size(R)`` inputs are all consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.data.schema import Schema
+from repro.errors import SchemaError
+
+Row = dict[str, Any]
+
+
+@dataclass
+class Table:
+    """A named collection of rows conforming to a :class:`Schema`."""
+
+    name: str
+    schema: Schema
+    rows: list[Row]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("table name must be non-empty")
+
+    # -- construction --------------------------------------------------------
+
+    @staticmethod
+    def from_rows(
+        name: str,
+        schema: Schema,
+        rows: Iterable[Row],
+        validate: bool = False,
+    ) -> "Table":
+        """Build a table; with ``validate`` each row is schema-checked."""
+        materialized = list(rows)
+        if validate:
+            for row in materialized:
+                schema.validate_row(row)
+        return Table(name, schema, materialized)
+
+    # -- basic accessors -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.rows)
+
+    def size_in_bytes(self) -> int:
+        """Total estimated serialized size (what HDFS would report)."""
+        return sum(self.schema.estimated_row_size(row) for row in self.rows)
+
+    def average_row_size(self) -> float:
+        if not self.rows:
+            return 0.0
+        return self.size_in_bytes() / len(self.rows)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one top-level column (validates the name)."""
+        self.schema.type_of(name)
+        return [row.get(name) for row in self.rows]
+
+    # -- simple relational helpers (reference semantics, used by tests) ------
+
+    def filter(self, predicate: Callable[[Row], bool]) -> "Table":
+        return Table(self.name, self.schema,
+                     [row for row in self.rows if predicate(row)])
+
+    def project(self, names: Sequence[str]) -> "Table":
+        projected = self.schema.project(names)
+        return Table(
+            self.name,
+            projected,
+            [{name: row.get(name) for name in names} for row in self.rows],
+        )
+
+    def head(self, count: int) -> "Table":
+        return Table(self.name, self.schema, self.rows[:count])
+
+    def distinct_count(self, column: str) -> int:
+        """Exact number of distinct non-null values (ground truth for tests)."""
+        values = {
+            _hashable(value)
+            for value in self.column(column)
+            if value is not None
+        }
+        return len(values)
+
+
+def _hashable(value: Any) -> Any:
+    """Convert nested JSON-like values into hashable equivalents."""
+    if isinstance(value, list):
+        return tuple(_hashable(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(sorted((key, _hashable(item)) for key, item in value.items()))
+    return value

@@ -1,0 +1,462 @@
+"""Scaled-down TPC-H data generator (plus the paper's restaurant example).
+
+The paper evaluates on TPC-H at scale factors 100/300/1000 (Section 6.1).
+We reproduce the generator with the standard *relative* cardinalities of the
+8 TPC-H tables, scaled down by a constant factor so experiments run on one
+machine:
+
+    lineitem : orders : partsupp : part : customer : supplier
+    =   60000 : 15000 :     8000 : 2000 :     1500 :      100   (per unit SF)
+
+``region`` and ``nation`` stay at their fixed 5 and 25 rows. All effects the
+paper measures (join input ratios, predicate/UDF selectivities, correlation
+between columns) are preserved under uniform downscaling; DESIGN.md Section 2
+records this substitution.
+
+Two deliberate additions mirror the paper's modified queries:
+
+* ``orders`` carries a correlated column pair ``o_orderzone`` ->
+  ``o_orderregion`` (each zone lies in exactly one region). Q8' adds two
+  correlated predicates on ``orders``; a traditional optimizer multiplying
+  their individual selectivities underestimates the result size
+  quadratically (Section 4.1).
+* :func:`generate_restaurants` builds the restaurant/review/tweet dataset of
+  query Q1, with an ``addr`` array-of-struct column whose ``zip`` determines
+  ``state`` -- the paper's motivating example for pilot runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.data.schema import (
+    BOOL,
+    DATE,
+    FLOAT,
+    INT,
+    STRING,
+    FieldType,
+    Schema,
+)
+from repro.data.table import Row, Table
+
+# ---------------------------------------------------------------------------
+# Cardinality scaling
+# ---------------------------------------------------------------------------
+
+#: Rows per unit scale factor (1/100th of real TPC-H).
+BASE_CARDINALITIES = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 100,
+    "customer": 1500,
+    "part": 2000,
+    "partsupp": 8000,
+    "orders": 15000,
+    "lineitem": 60000,
+}
+
+#: Mapping from the paper's scale factors to generator scale factors
+#: (same 1:3:10 ratio; see DESIGN.md Section 4).
+PAPER_SCALE_FACTORS = {100: 0.25, 300: 0.75, 1000: 2.5}
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIP_INSTRUCT = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+CONTAINERS = ["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX",
+              "WRAP PKG", "JUMBO JAR"]
+TYPE_SYLL_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLL_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLL_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+BRANDS = [f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6)]
+
+#: Correlated pair injected into ``orders``: each zone belongs to one region.
+ORDER_REGIONS = ["NORTH", "SOUTH", "EAST", "WEST"]
+ZONES_PER_REGION = 5
+
+
+def order_zone_region(zone_index: int) -> tuple[str, str]:
+    """Deterministic zone -> (zone name, owning region) mapping."""
+    region = ORDER_REGIONS[zone_index // ZONES_PER_REGION]
+    return f"Z{zone_index:02d}", region
+
+
+# ---------------------------------------------------------------------------
+# Schemas
+# ---------------------------------------------------------------------------
+
+REGION_SCHEMA = Schema.of(
+    r_regionkey=INT, r_name=STRING, r_comment=STRING,
+)
+NATION_SCHEMA = Schema.of(
+    n_nationkey=INT, n_name=STRING, n_regionkey=INT, n_comment=STRING,
+)
+SUPPLIER_SCHEMA = Schema.of(
+    s_suppkey=INT, s_name=STRING, s_address=STRING, s_nationkey=INT,
+    s_phone=STRING, s_acctbal=FLOAT, s_comment=STRING,
+)
+CUSTOMER_SCHEMA = Schema.of(
+    c_custkey=INT, c_name=STRING, c_address=STRING, c_nationkey=INT,
+    c_phone=STRING, c_acctbal=FLOAT, c_mktsegment=STRING, c_comment=STRING,
+)
+PART_SCHEMA = Schema.of(
+    p_partkey=INT, p_name=STRING, p_mfgr=STRING, p_brand=STRING,
+    p_type=STRING, p_size=INT, p_container=STRING, p_retailprice=FLOAT,
+    p_comment=STRING,
+)
+PARTSUPP_SCHEMA = Schema.of(
+    ps_partkey=INT, ps_suppkey=INT, ps_availqty=INT, ps_supplycost=FLOAT,
+    ps_comment=STRING,
+)
+ORDERS_SCHEMA = Schema.of(
+    o_orderkey=INT, o_custkey=INT, o_orderstatus=STRING, o_totalprice=FLOAT,
+    o_orderdate=DATE, o_orderpriority=STRING, o_clerk=STRING,
+    o_shippriority=INT, o_orderzone=STRING, o_orderregion=STRING,
+    o_comment=STRING,
+)
+LINEITEM_SCHEMA = Schema.of(
+    l_orderkey=INT, l_partkey=INT, l_suppkey=INT, l_linenumber=INT,
+    l_quantity=FLOAT, l_extendedprice=FLOAT, l_discount=FLOAT, l_tax=FLOAT,
+    l_returnflag=STRING, l_linestatus=STRING, l_shipdate=DATE,
+    l_commitdate=DATE, l_receiptdate=DATE, l_shipinstruct=STRING,
+    l_shipmode=STRING, l_comment=STRING,
+)
+
+TPCH_SCHEMAS = {
+    "region": REGION_SCHEMA,
+    "nation": NATION_SCHEMA,
+    "supplier": SUPPLIER_SCHEMA,
+    "customer": CUSTOMER_SCHEMA,
+    "part": PART_SCHEMA,
+    "partsupp": PARTSUPP_SCHEMA,
+    "orders": ORDERS_SCHEMA,
+    "lineitem": LINEITEM_SCHEMA,
+}
+
+
+# ---------------------------------------------------------------------------
+# Generator
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TpchDataset:
+    """All eight generated tables plus the scale factor used."""
+
+    scale_factor: float
+    tables: dict[str, Table]
+
+    def __getitem__(self, name: str) -> Table:
+        return self.tables[name]
+
+    def total_bytes(self) -> int:
+        return sum(table.size_in_bytes() for table in self.tables.values())
+
+
+def scaled_cardinality(table: str, scale_factor: float) -> int:
+    """Row count for ``table`` at ``scale_factor`` (region/nation fixed)."""
+    base = BASE_CARDINALITIES[table]
+    if table in ("region", "nation"):
+        return base
+    return max(1, round(base * scale_factor))
+
+
+def _comment(rng: random.Random, words: int = 2) -> str:
+    vocabulary = (
+        "final", "express", "furiously", "carefully", "quickly", "pending",
+        "silent", "bold", "even", "ironic", "regular", "special", "deposits",
+        "packages", "requests", "accounts", "theodolites", "instructions",
+    )
+    return " ".join(rng.choice(vocabulary) for _ in range(words))
+
+
+def _date(rng: random.Random, start_year: int = 1992, end_year: int = 1998) -> str:
+    year = rng.randint(start_year, end_year)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def _phone(rng: random.Random, nation_key: int) -> str:
+    return (f"{10 + nation_key}-{rng.randint(100, 999)}-"
+            f"{rng.randint(100, 999)}-{rng.randint(1000, 9999)}")
+
+
+def generate_region() -> Table:
+    rows = [
+        {"r_regionkey": key, "r_name": name, "r_comment": name.lower()}
+        for key, name in enumerate(REGIONS)
+    ]
+    return Table("region", REGION_SCHEMA, rows)
+
+
+def generate_nation(rng: random.Random) -> Table:
+    rows = [
+        {
+            "n_nationkey": key,
+            "n_name": name,
+            "n_regionkey": region,
+            "n_comment": _comment(rng),
+        }
+        for key, (name, region) in enumerate(NATIONS)
+    ]
+    return Table("nation", NATION_SCHEMA, rows)
+
+
+def generate_supplier(rng: random.Random, count: int) -> Table:
+    rows: list[Row] = []
+    for key in range(1, count + 1):
+        nation = rng.randrange(len(NATIONS))
+        rows.append({
+            "s_suppkey": key,
+            "s_name": f"Supplier#{key:09d}",
+            "s_address": _comment(rng, 1),
+            "s_nationkey": nation,
+            "s_phone": _phone(rng, nation),
+            "s_acctbal": round(rng.uniform(-999.99, 9999.99), 2),
+            "s_comment": _comment(rng),
+        })
+    return Table("supplier", SUPPLIER_SCHEMA, rows)
+
+
+def generate_customer(rng: random.Random, count: int) -> Table:
+    rows: list[Row] = []
+    for key in range(1, count + 1):
+        nation = rng.randrange(len(NATIONS))
+        rows.append({
+            "c_custkey": key,
+            "c_name": f"Customer#{key:09d}",
+            "c_address": _comment(rng, 1),
+            "c_nationkey": nation,
+            "c_phone": _phone(rng, nation),
+            "c_acctbal": round(rng.uniform(-999.99, 9999.99), 2),
+            "c_mktsegment": rng.choice(SEGMENTS),
+            "c_comment": _comment(rng),
+        })
+    return Table("customer", CUSTOMER_SCHEMA, rows)
+
+
+def generate_part(rng: random.Random, count: int) -> Table:
+    rows: list[Row] = []
+    for key in range(1, count + 1):
+        ptype = (f"{rng.choice(TYPE_SYLL_1)} {rng.choice(TYPE_SYLL_2)} "
+                 f"{rng.choice(TYPE_SYLL_3)}")
+        rows.append({
+            "p_partkey": key,
+            "p_name": f"part {key}",
+            "p_mfgr": f"Manufacturer#{rng.randint(1, 5)}",
+            "p_brand": rng.choice(BRANDS),
+            "p_type": ptype,
+            "p_size": rng.randint(1, 50),
+            "p_container": rng.choice(CONTAINERS),
+            "p_retailprice": round(900 + (key % 1000) + rng.uniform(0, 100), 2),
+            "p_comment": _comment(rng, 1),
+        })
+    return Table("part", PART_SCHEMA, rows)
+
+
+def generate_partsupp(rng: random.Random, part_count: int,
+                      supplier_count: int) -> Table:
+    """Each part gets 4 suppliers, like real TPC-H."""
+    rows: list[Row] = []
+    suppliers_per_part = 4
+    for part_key in range(1, part_count + 1):
+        for offset in range(suppliers_per_part):
+            supp_key = 1 + (part_key + offset * 7) % supplier_count
+            rows.append({
+                "ps_partkey": part_key,
+                "ps_suppkey": supp_key,
+                "ps_availqty": rng.randint(1, 9999),
+                "ps_supplycost": round(rng.uniform(1.0, 1000.0), 2),
+                "ps_comment": _comment(rng),
+            })
+    return Table("partsupp", PARTSUPP_SCHEMA, rows)
+
+
+def generate_orders(rng: random.Random, count: int,
+                    customer_count: int) -> Table:
+    rows: list[Row] = []
+    zone_count = len(ORDER_REGIONS) * ZONES_PER_REGION
+    for key in range(1, count + 1):
+        zone_index = rng.randrange(zone_count)
+        zone, zone_region = order_zone_region(zone_index)
+        rows.append({
+            "o_orderkey": key,
+            "o_custkey": rng.randint(1, customer_count),
+            "o_orderstatus": rng.choice(["O", "F", "P"]),
+            "o_totalprice": round(rng.uniform(1000.0, 400000.0), 2),
+            "o_orderdate": _date(rng),
+            "o_orderpriority": rng.choice(PRIORITIES),
+            "o_clerk": f"Clerk#{rng.randint(1, 1000):09d}",
+            "o_shippriority": 0,
+            # Correlated pair: the zone functionally determines the region.
+            "o_orderzone": zone,
+            "o_orderregion": zone_region,
+            "o_comment": _comment(rng),
+        })
+    return Table("orders", ORDERS_SCHEMA, rows)
+
+
+def generate_lineitem(rng: random.Random, order_count: int, part_count: int,
+                      supplier_count: int, target_count: int) -> Table:
+    """Roughly four lineitems per order, trimmed to ``target_count``."""
+    rows: list[Row] = []
+    order_key = 0
+    while len(rows) < target_count:
+        order_key = order_key % order_count + 1
+        lines = rng.randint(1, 7)
+        for line_number in range(1, lines + 1):
+            if len(rows) >= target_count:
+                break
+            part_key = rng.randint(1, part_count)
+            supp_key = 1 + (part_key + rng.randrange(4) * 7) % supplier_count
+            ship = _date(rng)
+            rows.append({
+                "l_orderkey": order_key,
+                "l_partkey": part_key,
+                "l_suppkey": supp_key,
+                "l_linenumber": line_number,
+                "l_quantity": float(rng.randint(1, 50)),
+                "l_extendedprice": round(rng.uniform(900.0, 105000.0), 2),
+                "l_discount": round(rng.uniform(0.0, 0.1), 2),
+                "l_tax": round(rng.uniform(0.0, 0.08), 2),
+                "l_returnflag": rng.choice(["R", "A", "N"]),
+                "l_linestatus": rng.choice(["O", "F"]),
+                "l_shipdate": ship,
+                "l_commitdate": _date(rng),
+                "l_receiptdate": _date(rng),
+                "l_shipinstruct": rng.choice(SHIP_INSTRUCT),
+                "l_shipmode": rng.choice(SHIP_MODES),
+                "l_comment": _comment(rng, 1),
+            })
+    return Table("lineitem", LINEITEM_SCHEMA, rows)
+
+
+def generate_tpch(scale_factor: float, seed: int = 2014) -> TpchDataset:
+    """Generate all eight TPC-H tables at ``scale_factor`` deterministically."""
+    rng = random.Random(seed)
+    supplier_count = scaled_cardinality("supplier", scale_factor)
+    customer_count = scaled_cardinality("customer", scale_factor)
+    part_count = scaled_cardinality("part", scale_factor)
+    order_count = scaled_cardinality("orders", scale_factor)
+    lineitem_count = scaled_cardinality("lineitem", scale_factor)
+
+    tables = {
+        "region": generate_region(),
+        "nation": generate_nation(rng),
+        "supplier": generate_supplier(rng, supplier_count),
+        "customer": generate_customer(rng, customer_count),
+        "part": generate_part(rng, part_count),
+        "partsupp": generate_partsupp(rng, part_count, supplier_count),
+        "orders": generate_orders(rng, order_count, customer_count),
+        "lineitem": generate_lineitem(
+            rng, order_count, part_count, supplier_count, lineitem_count
+        ),
+    }
+    return TpchDataset(scale_factor, tables)
+
+
+# ---------------------------------------------------------------------------
+# Restaurant example (paper Section 4.1, query Q1)
+# ---------------------------------------------------------------------------
+
+ADDRESS_TYPE = FieldType.struct(zip=INT, state=STRING, city=STRING)
+RESTAURANT_SCHEMA = Schema.of(
+    id=INT,
+    name=STRING,
+    addr=FieldType.array(ADDRESS_TYPE),
+    cuisine=STRING,
+)
+REVIEW_SCHEMA = Schema.of(
+    rvid=INT, rsid=INT, tid=INT, text=STRING, stars=INT,
+)
+TWEET_SCHEMA = Schema.of(
+    id=INT, user=STRING, text=STRING, verified=BOOL,
+)
+
+#: zip -> state: functional dependency identical in spirit to the paper's
+#: "all restaurants with zip 94301 are in CA" example.
+ZIP_STATES = {
+    94301: "CA", 94305: "CA", 90001: "CA",
+    10001: "NY", 10002: "NY",
+    78701: "TX", 60601: "IL", 98101: "WA",
+}
+
+_CITY_OF_STATE = {"CA": "Palo Alto", "NY": "New York", "TX": "Austin",
+                  "IL": "Chicago", "WA": "Seattle"}
+
+POSITIVE_WORDS = ("great", "amazing", "fantastic", "excellent", "tasty")
+NEGATIVE_WORDS = ("bland", "awful", "slow", "overpriced", "cold")
+
+
+def generate_restaurants(
+    restaurant_count: int = 2000,
+    reviews_per_restaurant: int = 5,
+    tweet_count: int = 20000,
+    seed: int = 7,
+) -> dict[str, Table]:
+    """Build the restaurant/review/tweet dataset of query Q1."""
+    rng = random.Random(seed)
+    zips = sorted(ZIP_STATES)
+    cuisines = ["thai", "italian", "mexican", "diner", "sushi"]
+
+    restaurants: list[Row] = []
+    for key in range(1, restaurant_count + 1):
+        primary_zip = rng.choice(zips)
+        state = ZIP_STATES[primary_zip]
+        addresses = [{"zip": primary_zip, "state": state,
+                      "city": _CITY_OF_STATE[state]}]
+        if rng.random() < 0.3:  # some restaurants have a second location
+            extra_zip = rng.choice(zips)
+            addresses.append({"zip": extra_zip,
+                              "state": ZIP_STATES[extra_zip],
+                              "city": _CITY_OF_STATE[ZIP_STATES[extra_zip]]})
+        restaurants.append({
+            "id": key,
+            "name": f"restaurant-{key}",
+            "addr": addresses,
+            "cuisine": rng.choice(cuisines),
+        })
+
+    reviews: list[Row] = []
+    review_id = 0
+    for restaurant in restaurants:
+        for _ in range(rng.randint(1, reviews_per_restaurant * 2 - 1)):
+            review_id += 1
+            positive = rng.random() < 0.4
+            words = POSITIVE_WORDS if positive else NEGATIVE_WORDS
+            reviews.append({
+                "rvid": review_id,
+                "rsid": restaurant["id"],
+                "tid": rng.randint(1, tweet_count),
+                "text": f"the food was {rng.choice(words)}",
+                "stars": rng.randint(4, 5) if positive else rng.randint(1, 3),
+            })
+
+    tweets: list[Row] = [
+        {
+            "id": key,
+            "user": f"user{rng.randint(1, 5000)}",
+            "text": _comment(rng, 3),
+            "verified": rng.random() < 0.6,
+        }
+        for key in range(1, tweet_count + 1)
+    ]
+
+    return {
+        "restaurant": Table("restaurant", RESTAURANT_SCHEMA, restaurants),
+        "review": Table("review", REVIEW_SCHEMA, reviews),
+        "tweet": Table("tweet", TWEET_SCHEMA, tweets),
+    }

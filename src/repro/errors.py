@@ -1,0 +1,83 @@
+"""Exception hierarchy for the DYNO reproduction.
+
+Every error raised by the library derives from :class:`DynoError`, so callers
+can catch a single base class. The more specific subclasses mirror the
+failure modes the paper discusses (e.g. a broadcast join whose build side
+overflows memory aborts the query, because Jaql's broadcast join does not
+spill to disk -- see Section 2.2.1 of the paper).
+"""
+
+from __future__ import annotations
+
+
+class DynoError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(DynoError):
+    """A row or expression does not conform to the declared schema."""
+
+
+class StorageError(DynoError):
+    """DFS-level failure: unknown file, duplicate file, bad split."""
+
+
+class JobError(DynoError):
+    """A MapReduce job failed during (simulated) execution."""
+
+
+class BroadcastBuildOverflowError(JobError):
+    """The build side of a broadcast join did not fit in task memory.
+
+    Jaql's broadcast join has no spill path, so this aborts the whole query
+    (paper, Section 2.2.1). The optimizer exists precisely to avoid plans
+    that can hit this error.
+    """
+
+    def __init__(self, build_bytes: int, memory_budget: int,
+                 job_name: str = "", build_description: str = ""):
+        self.build_bytes = build_bytes
+        self.memory_budget = memory_budget
+        self.job_name = job_name
+        self.build_description = build_description
+        detail = f" in job {job_name!r}" if job_name else ""
+        builds = f" (builds: {build_description})" if build_description else ""
+        super().__init__(
+            f"broadcast build side is {build_bytes} bytes but task memory "
+            f"budget is {memory_budget} bytes{detail}{builds}; "
+            f"Jaql cannot spill"
+        )
+
+
+class ParseError(DynoError):
+    """The SQL-dialect parser rejected the input query text."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class PlanError(DynoError):
+    """An invalid logical or physical plan was constructed or requested."""
+
+
+class OptimizerError(DynoError):
+    """The cost-based optimizer could not produce a plan."""
+
+
+class UnsupportedQueryError(OptimizerError):
+    """The query shape is outside what the optimizer supports.
+
+    The paper excludes TPC-H Q5 for exactly this reason (cyclic join
+    conditions); we raise this error rather than silently mis-planning.
+    """
+
+
+class StatisticsError(DynoError):
+    """Statistics are missing, malformed, or cannot be merged."""
+
+
+class CoordinationError(DynoError):
+    """The coordination service (ZooKeeper stand-in) was misused."""

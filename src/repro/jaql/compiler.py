@@ -1,0 +1,542 @@
+"""Compiler: physical join plans -> MapReduce job DAGs (Section 5.1, step 5').
+
+The translation mirrors Jaql's:
+
+* a **repartition join** becomes one map+reduce job; each map task reads a
+  split of either input, applies that side's *pipeline* (leaf predicates,
+  plus any broadcast joins folded into the map phase), tags the record with
+  its side, and emits it under the join key; reducers separate the two
+  sides per key and produce the cartesian product (Section 2.2.1);
+* a **broadcast join** extends the current map pipeline: the build side --
+  a base leaf (filtered while loading) or a materialized intermediate --
+  becomes a :class:`BroadcastBuild` of the job; consecutive broadcast joins
+  marked ``chained`` by the optimizer stay in the same map-only job, others
+  force a job boundary that materializes the probe pipeline first
+  (Section 2.2.2, chaining);
+* non-local predicates run right where the optimizer placed them (after the
+  join covering their references).
+
+The output is a :class:`JobGraph`: jobs plus dependencies. DYNOPT executes
+only its *leaf jobs* each iteration (Section 5.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.cluster.job import BroadcastBuild, MapReduceJob, TaskContext
+from repro.config import DynoConfig
+from repro.data.schema import Schema
+from repro.data.table import Row
+from repro.errors import PlanError
+from repro.jaql.blocks import BlockLeaf
+from repro.jaql.expr import GroupBy, Predicate
+from repro.optimizer.plans import (
+    BROADCAST,
+    PhysJoin,
+    PhysLeaf,
+    PhysicalNode,
+)
+from repro.storage.dfs import DistributedFileSystem
+
+#: Per-row pipeline stage: one input row -> zero or more output rows.
+RowTransform = Callable[[TaskContext, Row], Iterable[Row]]
+
+#: Schema attached to intermediate files. Intermediates carry qualified
+#: (flattened) rows whose exact field set varies per plan; a permissive
+#: schema keeps size accounting consistent without re-deriving field types.
+def _intermediate_schema() -> Schema:
+    return Schema(())
+
+
+@dataclass
+class CompiledJob:
+    """One MapReduce job plus plan-level metadata for DYNOPT strategies."""
+
+    job: MapReduceJob
+    depends_on: list[str]
+    #: aliases whose join result this job materializes.
+    output_aliases: frozenset[str]
+    applied_predicates: tuple[Predicate, ...]
+    #: joins evaluated inside this job -- the paper's *uncertainty* metric
+    #: (Section 5.3: estimation error grows with the number of joins).
+    join_count: int
+    #: optimizer cost attributable to this job (for the CHEAP strategies).
+    estimated_cost: float
+    estimated_rows: float
+    final: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.job.name
+
+
+@dataclass
+class JobGraph:
+    """The compiled workflow of one optimization step."""
+
+    jobs: list[CompiledJob]
+    final_output: str
+    #: True when the block needed no work (single intermediate leaf).
+    trivial: bool = False
+
+    def job_named(self, name: str) -> CompiledJob:
+        for compiled in self.jobs:
+            if compiled.name == name:
+                return compiled
+        raise PlanError(f"no such job in graph: {name!r}")
+
+    def leaf_jobs(self, completed: set[str] | None = None) -> list[CompiledJob]:
+        """Jobs whose dependencies have all completed."""
+        done = completed or set()
+        return [
+            compiled for compiled in self.jobs
+            if compiled.name not in done
+            and all(dep in done for dep in compiled.depends_on)
+        ]
+
+    @property
+    def job_count(self) -> int:
+        return len(self.jobs)
+
+    def describe(self) -> str:
+        lines = []
+        for compiled in self.jobs:
+            deps = (f" after {sorted(compiled.depends_on)}"
+                    if compiled.depends_on else "")
+            kind = "map-only" if compiled.job.is_map_only else "map-reduce"
+            lines.append(
+                f"{compiled.name} [{kind}, joins={compiled.join_count}]"
+                f" -> {compiled.job.output_name}{deps}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class _Stream:
+    """A map-side pipeline under construction."""
+
+    input_files: list[str]
+    transform: RowTransform
+    builds: list[BroadcastBuild] = field(default_factory=list)
+    upstream: list[CompiledJob] = field(default_factory=list)
+    aliases: frozenset[str] = frozenset()
+    join_count: int = 0
+    applied_predicates: tuple[Predicate, ...] = ()
+    #: cumulative optimizer cost of subtrees already materialized upstream.
+    upstream_cost: float = 0.0
+    node: PhysicalNode | None = None
+
+
+def _identity_transform(context: TaskContext, row: Row) -> Iterable[Row]:
+    return (row,)
+
+
+class PlanCompiler:
+    """Compiles physical plans of one block into MapReduce jobs."""
+
+    def __init__(self, dfs: DistributedFileSystem, config: DynoConfig,
+                 name_prefix: str,
+                 table_files: dict[str, str] | None = None):
+        self.dfs = dfs
+        self.config = config
+        self.name_prefix = name_prefix
+        #: base table name -> DFS file name (identity unless remapped).
+        self.table_files = table_files or {}
+        self._counter = 0
+
+    # -- public ---------------------------------------------------------------------
+
+    def compile_block(self, plan: PhysicalNode) -> JobGraph:
+        """Compile a whole physical join plan into its job graph."""
+        jobs: list[CompiledJob] = []
+        stream = self._compile_node(plan, jobs)
+        if (not stream.builds
+                and stream.transform is _identity_transform
+                and len(stream.input_files) == 1):
+            # Nothing left to execute beyond already-emitted jobs: the plan
+            # top is a materialized file (e.g. a repartition-join output).
+            final_output = stream.input_files[0]
+            for compiled in jobs:
+                if compiled.job.output_name == final_output:
+                    compiled.final = True
+            return JobGraph(jobs, final_output, trivial=not jobs)
+        final = self._materialize(stream, jobs, final=True)
+        return JobGraph(jobs, final.job.output_name)
+
+    def compile_group_by(self, input_file: str, group_by: GroupBy,
+                         job_label: str = "groupby") -> CompiledJob:
+        """One map+reduce job computing a GROUP BY over a materialized file."""
+        keys = group_by.keys
+        aggregates = group_by.aggregates
+
+        def mapper(context: TaskContext, source: str,
+                   rows: list[Row]) -> None:
+            for row in rows:
+                key = tuple(ref.evaluate(row) for ref in keys)
+                context.emit(key, row)
+
+        def reducer(context: TaskContext, key: object,
+                    values: list[Row]) -> None:
+            key_parts = key if isinstance(key, tuple) else (key,)
+            out: Row = {
+                ref.qualified: part for ref, part in zip(keys, key_parts)
+            }
+            for aggregate in aggregates:
+                state = aggregate.initial()
+                for row in values:
+                    state = aggregate.step(state, row)
+                out[aggregate.output_name] = aggregate.final(state)
+            context.emit(None, out)
+
+        name = self._next_name(job_label)
+        output = f"{name}.out"
+        job = MapReduceJob(
+            name=name,
+            inputs=[input_file],
+            mapper=mapper,
+            reducer=reducer,
+            num_reducers=self._reducers_for([input_file]),
+            output_name=output,
+            output_schema=_intermediate_schema(),
+            description=f"group by over {input_file}",
+        )
+        return CompiledJob(
+            job=job,
+            depends_on=[],
+            output_aliases=frozenset(),
+            applied_predicates=(),
+            join_count=0,
+            estimated_cost=0.0,
+            estimated_rows=0.0,
+            final=True,
+        )
+
+    # -- recursion -------------------------------------------------------------------
+
+    def _compile_node(self, node: PhysicalNode,
+                      jobs: list[CompiledJob]) -> _Stream:
+        if isinstance(node, PhysLeaf):
+            return self._leaf_stream(node)
+        if not isinstance(node, PhysJoin):
+            raise PlanError(f"cannot compile {type(node).__name__}")
+        if node.method == BROADCAST:
+            return self._broadcast_stream(node, jobs)
+        return self._repartition_stream(node, jobs)
+
+    def _leaf_stream(self, node: PhysLeaf) -> _Stream:
+        leaf = node.leaf
+        input_file = self._file_of_leaf(leaf)
+        if not leaf.is_base:
+            return _Stream(
+                input_files=[input_file],
+                transform=_identity_transform,
+                aliases=node.aliases,
+                node=node,
+            )
+        cpu_per_row = leaf.cpu_seconds_per_row
+
+        def transform(context: TaskContext, row: Row,
+                      _leaf: BlockLeaf = leaf,
+                      _cpu: float = cpu_per_row) -> Iterable[Row]:
+            if _cpu:
+                context.charge_cpu(_cpu)
+            qualified = _leaf.qualify_and_filter(row)
+            return (qualified,) if qualified is not None else ()
+
+        return _Stream(
+            input_files=[input_file],
+            transform=transform,
+            aliases=node.aliases,
+            node=node,
+        )
+
+    def _broadcast_stream(self, node: PhysJoin,
+                          jobs: list[CompiledJob]) -> _Stream:
+        probe = self._compile_node(node.left, jobs)
+        if probe.builds and not node.chained:
+            # Job boundary: the optimizer decided this join must not share
+            # a job with the probe-side broadcast chain (builds would not
+            # fit in memory together). Materialize the probe first.
+            materialized = self._materialize(probe, jobs)
+            probe = _Stream(
+                input_files=[materialized.job.output_name],
+                transform=_identity_transform,
+                upstream=[materialized],
+                aliases=probe.aliases,
+                upstream_cost=(probe.node.cost
+                               if probe.node is not None else 0.0),
+                node=probe.node,
+            )
+
+        build = self._build_side(node.right, jobs, probe)
+        probe_refs = [
+            condition.side_for(node.left.aliases)
+            for condition in node.conditions
+        ]
+        build_refs = [
+            condition.side_for(node.right.aliases)
+            for condition in node.conditions
+        ]
+        predicates = node.applied_predicates
+        probe_cpu = self.config.cluster.probe_seconds_per_record
+        pred_cpu = sum(p.cpu_seconds_per_row for p in predicates)
+        inner_transform = probe.transform
+        hash_holder: dict[str, object] = {}
+
+        def transform(context: TaskContext, row: Row) -> Iterable[Row]:
+            table = hash_holder.get("table")
+            if table is None or hash_holder.get("source") is not build.rows:
+                table = {}
+                for build_row in build.built_rows():
+                    key = tuple(ref.evaluate(build_row) for ref in build_refs)
+                    if any(part is None for part in key):
+                        continue
+                    table.setdefault(key, []).append(build_row)
+                hash_holder["table"] = table
+                hash_holder["source"] = build.rows
+            results: list[Row] = []
+            for probe_row in inner_transform(context, row):
+                context.charge_cpu(probe_cpu)
+                key = tuple(ref.evaluate(probe_row) for ref in probe_refs)
+                if any(part is None for part in key):
+                    continue
+                for build_row in table.get(key, ()):  # type: ignore[union-attr]
+                    merged = {**probe_row, **build_row}
+                    if pred_cpu:
+                        context.charge_cpu(pred_cpu)
+                    if all(p.evaluate(merged) for p in predicates):
+                        results.append(merged)
+            return results
+
+        return _Stream(
+            input_files=probe.input_files,
+            transform=transform,
+            builds=probe.builds + [build],
+            upstream=probe.upstream,
+            aliases=node.aliases,
+            join_count=probe.join_count + 1,
+            applied_predicates=probe.applied_predicates + predicates,
+            upstream_cost=probe.upstream_cost,
+            node=node,
+        )
+
+    def _build_side(self, node: PhysicalNode, jobs: list[CompiledJob],
+                    probe: _Stream) -> BroadcastBuild:
+        """Build sides must be materialized.
+
+        Small base leaves load directly, applying their predicates while
+        the hash table builds (Jaql's broadcast join loads S per task).
+        A base leaf whose *raw file* exceeds task memory but whose filtered
+        form fits is first reduced by a map-only filter job -- re-reading
+        the big raw file in every task would defeat the broadcast join
+        (this is the execution-side counterpart of the optimizer's
+        "relations that fit in memory after a selective filter" insight,
+        Section 2.2.3; pilot-run output reuse covers the most selective
+        leaves without any extra job). Join subtrees are compiled into jobs
+        of their own first.
+        """
+        if isinstance(node, PhysLeaf):
+            leaf = node.leaf
+            input_file = self._file_of_leaf(leaf)
+            raw_bytes = (self.dfs.file_size(input_file)
+                         if self.dfs.exists(input_file) else 0)
+            budget = self.config.cluster.task_memory_bytes
+            if leaf.is_base and leaf.predicates and raw_bytes > budget:
+                filtered = self._materialize(self._leaf_stream(node), jobs)
+                probe.upstream.append(filtered)
+                return BroadcastBuild(
+                    input_file=filtered.job.output_name,
+                    loader=lambda raw_rows: list(raw_rows),
+                    description=f"{leaf.describe()} (pre-filtered)",
+                )
+            if leaf.is_base:
+                def loader(raw_rows: list[Row],
+                           _leaf: BlockLeaf = leaf) -> list[Row]:
+                    loaded = []
+                    for row in raw_rows:
+                        qualified = _leaf.qualify_and_filter(row)
+                        if qualified is not None:
+                            loaded.append(qualified)
+                    return loaded
+            else:
+                def loader(raw_rows: list[Row]) -> list[Row]:
+                    return list(raw_rows)
+            return BroadcastBuild(
+                input_file=input_file,
+                loader=loader,
+                description=leaf.describe(),
+            )
+        # Join subtree: materialize it, then broadcast its output.
+        subtree = self._compile_node(node, jobs)
+        if (not subtree.builds
+                and subtree.transform is _identity_transform
+                and len(subtree.input_files) == 1):
+            # Already materialized (e.g. a repartition-join output).
+            build_file = subtree.input_files[0]
+            probe.upstream.extend(subtree.upstream)
+        else:
+            materialized = self._materialize(subtree, jobs)
+            build_file = materialized.job.output_name
+            probe.upstream.append(materialized)
+        probe.upstream_cost += node.cost
+        return BroadcastBuild(
+            input_file=build_file,
+            loader=lambda raw_rows: list(raw_rows),
+            description=f"build from {build_file}",
+        )
+
+    def _repartition_stream(self, node: PhysJoin,
+                            jobs: list[CompiledJob]) -> _Stream:
+        left = self._compile_node(node.left, jobs)
+        right = self._compile_node(node.right, jobs)
+        sides = (left, right)
+        side_refs = [
+            [condition.side_for(side.aliases) for condition in node.conditions]
+            for side in sides
+        ]
+        predicates = node.applied_predicates
+        pred_cpu = sum(p.cpu_seconds_per_row for p in predicates)
+
+        def mapper(context: TaskContext, source: str,
+                   rows: list[Row]) -> None:
+            for side_index, side in enumerate(sides):
+                if source not in side.input_files:
+                    continue
+                refs = side_refs[side_index]
+                for row in rows:
+                    for out in side.transform(context, row):
+                        key = tuple(ref.evaluate(out) for ref in refs)
+                        if any(part is None for part in key):
+                            continue
+                        context.emit(key, {"s": side_index, "r": out})
+
+        def reducer(context: TaskContext, key: object,
+                    values: list[Row]) -> None:
+            left_rows = [value["r"] for value in values if value["s"] == 0]
+            right_rows = [value["r"] for value in values if value["s"] == 1]
+            for left_row in left_rows:
+                for right_row in right_rows:
+                    merged = {**left_row, **right_row}
+                    if pred_cpu:
+                        context.charge_cpu(pred_cpu)
+                    if all(p.evaluate(merged) for p in predicates):
+                        context.emit(None, merged)
+
+        name = self._next_name("rjoin")
+        output = f"{name}.out"
+        inputs = sorted(set(left.input_files) | set(right.input_files))
+        estimated_input_bytes = (
+            node.left.est_bytes + node.right.est_bytes
+        )
+        job = MapReduceJob(
+            name=name,
+            inputs=inputs,
+            mapper=mapper,
+            reducer=reducer,
+            num_reducers=self._reducers_for(inputs, estimated_input_bytes),
+            output_name=output,
+            output_schema=_intermediate_schema(),
+            broadcast_builds=left.builds + right.builds,
+            description=f"repartition join over {sorted(node.aliases)}",
+        )
+        depends = _dedupe(
+            [up.name for up in left.upstream + right.upstream]
+        )
+        upstream_cost = left.upstream_cost + right.upstream_cost
+        compiled = CompiledJob(
+            job=job,
+            depends_on=depends,
+            output_aliases=node.aliases,
+            applied_predicates=(left.applied_predicates
+                                + right.applied_predicates + predicates),
+            join_count=left.join_count + right.join_count + 1,
+            estimated_cost=max(node.cost - upstream_cost, 0.0),
+            estimated_rows=node.est_rows,
+        )
+        jobs.append(compiled)
+        return _Stream(
+            input_files=[output],
+            transform=_identity_transform,
+            upstream=[compiled],
+            aliases=node.aliases,
+            upstream_cost=node.cost,
+            node=node,
+        )
+
+    # -- materialization ---------------------------------------------------------------
+
+    def _materialize(self, stream: _Stream, jobs: list[CompiledJob],
+                     final: bool = False) -> CompiledJob:
+        """Emit a map-only job writing the stream's rows to the DFS."""
+        label = "final" if final else "mjoin"
+        name = self._next_name(label)
+        output = f"{name}.out"
+        transform = stream.transform
+
+        def mapper(context: TaskContext, source: str,
+                   rows: list[Row]) -> None:
+            for row in rows:
+                for out in transform(context, row):
+                    context.emit(None, out)
+
+        job = MapReduceJob(
+            name=name,
+            inputs=list(stream.input_files),
+            mapper=mapper,
+            output_name=output,
+            output_schema=_intermediate_schema(),
+            broadcast_builds=list(stream.builds),
+            description=f"map-only pipeline over {sorted(stream.aliases)}",
+        )
+        node_cost = stream.node.cost if stream.node is not None else 0.0
+        compiled = CompiledJob(
+            job=job,
+            depends_on=_dedupe([up.name for up in stream.upstream]),
+            output_aliases=stream.aliases,
+            applied_predicates=stream.applied_predicates,
+            join_count=stream.join_count,
+            estimated_cost=max(node_cost - stream.upstream_cost, 0.0),
+            estimated_rows=(stream.node.est_rows
+                            if stream.node is not None else 0.0),
+            final=final,
+        )
+        jobs.append(compiled)
+        return compiled
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def _file_of_leaf(self, leaf: BlockLeaf) -> str:
+        if leaf.is_base:
+            return self.table_files.get(leaf.source_name, leaf.source_name)
+        return leaf.source_name
+
+    def _next_name(self, label: str) -> str:
+        self._counter += 1
+        return f"{self.name_prefix}.{label}{self._counter}"
+
+    def _reducers_for(self, inputs: list[str],
+                      estimated_bytes: float = 0.0) -> int:
+        """Hive-like default: proportional to input size, capped by slots.
+
+        Inputs not yet materialized (downstream jobs of a not-yet-executed
+        plan) fall back to the optimizer's byte estimates.
+        """
+        total_bytes = sum(self.dfs.file_size(name) for name in inputs
+                          if self.dfs.exists(name))
+        total_bytes = max(total_bytes, estimated_bytes)
+        per_reducer = 2 * self.config.cluster.block_size_bytes
+        wanted = max(1, math.ceil(total_bytes / per_reducer))
+        return min(wanted, self.config.cluster.total_reduce_slots)
+
+
+def _dedupe(names: list[str]) -> list[str]:
+    seen: set[str] = set()
+    ordered: list[str] = []
+    for name in names:
+        if name not in seen:
+            seen.add(name)
+            ordered.append(name)
+    return ordered

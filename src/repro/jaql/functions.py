@@ -1,0 +1,174 @@
+"""User-defined functions.
+
+UDFs are opaque to the optimizer: no selectivity can be derived from their
+definition, which is the core motivation for pilot runs (Sections 1 and 4).
+Each :class:`Udf` carries a Python callable (its real semantics -- pilot runs
+measure its *actual* selectivity on the data) plus a simulated per-call CPU
+cost that the time model charges.
+
+Two families are provided:
+
+* domain UDFs used by the paper's examples -- ``sentanalysis`` over review
+  text and ``checkid`` over review/tweet pairs (query Q1, Section 4.1);
+* :func:`make_selective_udf`, a deterministic hash-based filter with an
+  exactly tunable selectivity, used to build the modified queries Q8'/Q9'
+  and the Figure 6 selectivity sweep (0.01% .. 100%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import PlanError
+from repro.stats.kmv import HASH_DOMAIN, kmv_hash
+
+
+@dataclass(frozen=True)
+class Udf:
+    """A named user-defined boolean function with a simulated CPU cost."""
+
+    name: str
+    fn: Callable[..., bool]
+    cost_seconds: float = 0.0
+    #: free-form version tag so re-registered UDFs get fresh statistics.
+    version: str = "1"
+
+    def __call__(self, *args: Any) -> bool:
+        return bool(self.fn(*args))
+
+    def signature(self) -> str:
+        return f"udf:{self.name}@{self.version}"
+
+
+class UdfRegistry:
+    """Name -> UDF mapping, as Jaql's function catalog."""
+
+    def __init__(self) -> None:
+        self._udfs: dict[str, Udf] = {}
+
+    def register(self, udf: Udf, replace: bool = False) -> Udf:
+        if udf.name in self._udfs and not replace:
+            raise PlanError(f"UDF already registered: {udf.name!r}")
+        self._udfs[udf.name] = udf
+        return udf
+
+    def get(self, name: str) -> Udf:
+        try:
+            return self._udfs[name]
+        except KeyError:
+            raise PlanError(f"unknown UDF: {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._udfs
+
+    def names(self) -> list[str]:
+        return sorted(self._udfs)
+
+
+# ---------------------------------------------------------------------------
+# Paper example UDFs (query Q1)
+# ---------------------------------------------------------------------------
+
+_POSITIVE_MARKERS = ("great", "amazing", "fantastic", "excellent", "tasty")
+
+
+def sentanalysis(text: Any) -> bool:
+    """Toy sentiment analysis: True when the review reads positive."""
+    if not isinstance(text, str):
+        return False
+    return any(marker in text for marker in _POSITIVE_MARKERS)
+
+
+def checkid(verified: Any, stars: Any) -> bool:
+    """Toy identity check over the review x tweet join result.
+
+    A review counts as identity-checked when the matched tweet's author is
+    verified and the review is substantive (a star rating exists and is
+    above the spam floor).
+    """
+    return bool(verified) and isinstance(stars, int) and stars >= 2
+
+
+def default_registry() -> UdfRegistry:
+    registry = UdfRegistry()
+    registry.register(Udf("sentanalysis", sentanalysis, cost_seconds=0.002))
+    registry.register(Udf("checkid", checkid, cost_seconds=0.001))
+    return registry
+
+
+# ---------------------------------------------------------------------------
+# Tunable-selectivity UDFs (Q8', Q9', Figure 6 sweep)
+# ---------------------------------------------------------------------------
+
+
+def make_selective_udf(name: str, selectivity: float,
+                       cost_seconds: float = 0.001,
+                       salt: str = "") -> Udf:
+    """A UDF passing a deterministic ``selectivity`` fraction of values.
+
+    The decision hashes ``(name, salt, value)``, so it is stable across
+    processes, uncorrelated with other UDFs, and its realized selectivity on
+    any large column converges to the requested one -- but the *optimizer*
+    cannot know this; only a pilot run can observe it.
+    """
+    if not 0.0 <= selectivity <= 1.0:
+        raise PlanError(f"selectivity must be in [0, 1], got {selectivity}")
+    threshold = int(selectivity * HASH_DOMAIN)
+
+    def accept(value: Any) -> bool:
+        return kmv_hash((name, salt, value)) <= threshold
+
+    return Udf(
+        name,
+        accept,
+        cost_seconds=cost_seconds,
+        version=f"sel={selectivity}:salt={salt}",
+    )
+
+
+def make_pair_udf(name: str, selectivity: float,
+                  cost_seconds: float = 0.001, salt: str = "") -> Udf:
+    """Two-argument variant (e.g. Q8''s UDF over the orders x customer join)."""
+    if not 0.0 <= selectivity <= 1.0:
+        raise PlanError(f"selectivity must be in [0, 1], got {selectivity}")
+    threshold = int(selectivity * HASH_DOMAIN)
+
+    def accept(left: Any, right: Any) -> bool:
+        return kmv_hash((name, salt, left, right)) <= threshold
+
+    return Udf(
+        name,
+        accept,
+        cost_seconds=cost_seconds,
+        version=f"pair-sel={selectivity}:salt={salt}",
+    )
+
+
+@dataclass
+class UdfCallCounter:
+    """Test/diagnostic helper wrapping a UDF to count invocations."""
+
+    udf: Udf
+    calls: int = 0
+    accepted: int = 0
+    _wrapped: Udf | None = field(default=None, repr=False)
+
+    def wrapped(self) -> Udf:
+        if self._wrapped is None:
+            def counting(*args: Any) -> bool:
+                self.calls += 1
+                result = self.udf(*args)
+                if result:
+                    self.accepted += 1
+                return result
+
+            self._wrapped = Udf(
+                self.udf.name, counting, self.udf.cost_seconds,
+                self.udf.version,
+            )
+        return self._wrapped
+
+    @property
+    def observed_selectivity(self) -> float:
+        return self.accepted / self.calls if self.calls else 0.0

@@ -1,0 +1,135 @@
+"""Reference interpreter: single-process evaluation of a query tree.
+
+This is the correctness oracle. It evaluates the same expression AST the
+distributed path compiles, using straightforward hash joins and in-memory
+grouping, so tests can assert that the MapReduce execution of *any* plan the
+optimizer produces returns exactly the rows this interpreter returns
+(ignoring order).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any
+
+from repro.data.table import Row, Table
+from repro.errors import PlanError
+from repro.jaql.expr import (
+    Expr,
+    Filter,
+    GroupBy,
+    Join,
+    OrderBy,
+    Project,
+    QuerySpec,
+    Scan,
+    qualify_row,
+)
+
+
+def order_key(value: Any) -> tuple:
+    """Type-ranked sort key making mixed None/number/string values sortable."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (2, value)
+    if isinstance(value, str):
+        return (3, value)
+    if isinstance(value, (list, tuple)):
+        return (4, tuple(order_key(item) for item in value))
+    return (5, repr(value))
+
+
+class Interpreter:
+    """Evaluates expressions against an in-memory table catalog."""
+
+    def __init__(self, tables: dict[str, Table]):
+        self.tables = tables
+
+    def run(self, spec: QuerySpec) -> list[Row]:
+        return self.evaluate(spec.root)
+
+    def evaluate(self, expr: Expr) -> list[Row]:
+        if isinstance(expr, Scan):
+            return self._scan(expr)
+        if isinstance(expr, Filter):
+            rows = self.evaluate(expr.child)
+            return [row for row in rows if expr.predicate.evaluate(row)]
+        if isinstance(expr, Join):
+            return self._join(expr)
+        if isinstance(expr, GroupBy):
+            return self._group(expr)
+        if isinstance(expr, OrderBy):
+            return self._order(expr)
+        if isinstance(expr, Project):
+            rows = self.evaluate(expr.child)
+            return [expr.project_row(row) for row in rows]
+        raise PlanError(f"interpreter cannot evaluate {type(expr).__name__}")
+
+    # -- operators ---------------------------------------------------------------
+
+    def _scan(self, expr: Scan) -> list[Row]:
+        try:
+            table = self.tables[expr.table]
+        except KeyError:
+            raise PlanError(f"unknown table: {expr.table!r}") from None
+        return [qualify_row(expr.alias, row) for row in table.rows]
+
+    def _join(self, expr: Join) -> list[Row]:
+        left_rows = self.evaluate(expr.left)
+        right_rows = self.evaluate(expr.right)
+        left_aliases = expr.left.aliases()
+        right_aliases = expr.right.aliases()
+        left_refs = [c.side_for(left_aliases) for c in expr.conditions]
+        right_refs = [c.side_for(right_aliases) for c in expr.conditions]
+
+        index: dict[tuple, list[Row]] = defaultdict(list)
+        for row in right_rows:
+            key = tuple(ref.evaluate(row) for ref in right_refs)
+            if any(part is None for part in key):
+                continue
+            index[key].append(row)
+
+        joined: list[Row] = []
+        for row in left_rows:
+            key = tuple(ref.evaluate(row) for ref in left_refs)
+            if any(part is None for part in key):
+                continue
+            for match in index.get(key, ()):
+                joined.append({**row, **match})
+        return joined
+
+    def _group(self, expr: GroupBy) -> list[Row]:
+        rows = self.evaluate(expr.child)
+        groups: dict[tuple, list[Row]] = defaultdict(list)
+        for row in rows:
+            key = tuple(ref.evaluate(row) for ref in expr.keys)
+            groups[key].append(row)
+
+        output: list[Row] = []
+        for key, members in groups.items():
+            out: Row = {
+                ref.qualified: part for ref, part in zip(expr.keys, key)
+            }
+            for aggregate in expr.aggregates:
+                state = aggregate.initial()
+                for row in members:
+                    state = aggregate.step(state, row)
+                out[aggregate.output_name] = aggregate.final(state)
+            output.append(out)
+        return output
+
+    def _order(self, expr: OrderBy) -> list[Row]:
+        rows = self.evaluate(expr.child)
+        ordered = sorted(
+            rows,
+            key=lambda row: tuple(
+                order_key(ref.evaluate(row)) for ref in expr.keys
+            ),
+            reverse=expr.descending,
+        )
+        if expr.limit is not None:
+            ordered = ordered[:expr.limit]
+        return ordered

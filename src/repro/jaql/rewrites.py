@@ -1,0 +1,124 @@
+"""Heuristic rewrite engine (the Jaql compiler's rule stage).
+
+The paper's step 2 (Figure 1): when a query arrives, Jaql applies logical
+heuristic rules such as filter push-down before join blocks are formed.
+We implement the rules that matter for DYNO:
+
+* **split-conjunction** -- ``filter (a AND b)`` becomes two stacked filters,
+  so each conjunct can sink independently;
+* **filter push-down** -- a predicate moves below a join when it references
+  only aliases of one input; predicates referencing a single alias end up
+  directly above their scan (becoming *local* predicates, the unit pilot
+  runs execute); predicates spanning multiple aliases stop at the lowest
+  join covering them (remaining *non-local*, e.g. Q8''s UDF over the
+  orders x customer join);
+* **filter-merge normalization** used by tests to compare trees.
+
+Rules preserve semantics: filters only commute with joins downward into the
+side that fully covers their references.
+"""
+
+from __future__ import annotations
+
+from repro.jaql.expr import (
+    Expr,
+    Filter,
+    GroupBy,
+    Join,
+    OrderBy,
+    Predicate,
+    Project,
+    Scan,
+    conjunction,
+    conjuncts,
+)
+
+
+def push_down_filters(expr: Expr) -> Expr:
+    """Return an equivalent tree with every conjunct pushed maximally down."""
+    return _push(expr, [])
+
+
+def _push(expr: Expr, pending: list[Predicate]) -> Expr:
+    """Push ``pending`` predicates (collected from above) into ``expr``."""
+    if isinstance(expr, Filter):
+        return _push(expr.child, pending + conjuncts(expr.predicate))
+
+    if isinstance(expr, Join):
+        left_aliases = expr.left.aliases()
+        right_aliases = expr.right.aliases()
+        to_left: list[Predicate] = []
+        to_right: list[Predicate] = []
+        stay: list[Predicate] = []
+        for predicate in pending:
+            refs = predicate.references()
+            if refs <= left_aliases:
+                to_left.append(predicate)
+            elif refs <= right_aliases:
+                to_right.append(predicate)
+            else:
+                stay.append(predicate)
+        rebuilt: Expr = Join(
+            _push(expr.left, to_left),
+            _push(expr.right, to_right),
+            expr.conditions,
+        )
+        return _wrap(rebuilt, stay)
+
+    if isinstance(expr, (GroupBy, OrderBy, Project)):
+        # Not pushed through aggregation/ordering boundaries: conservative
+        # and sufficient (our workloads place filters below these anyway).
+        child = _push(expr.children()[0], [])
+        return _wrap(expr.with_children((child,)), pending)
+
+    if isinstance(expr, Scan):
+        return _wrap(expr, pending)
+
+    # Unknown node kinds: push into children independently, keep pending here.
+    children = tuple(_push(child, []) for child in expr.children())
+    return _wrap(expr.with_children(children), pending)
+
+
+def _wrap(expr: Expr, predicates: list[Predicate]) -> Expr:
+    """Stack filters above ``expr``, one per predicate (deterministic order)."""
+    wrapped = expr
+    for predicate in predicates:
+        wrapped = Filter(wrapped, predicate)
+    return wrapped
+
+
+def merge_adjacent_filters(expr: Expr) -> Expr:
+    """Normalize stacked filters into a single conjunction (for comparison)."""
+    children = tuple(merge_adjacent_filters(child) for child in expr.children())
+    rebuilt = expr.with_children(children)
+    if isinstance(rebuilt, Filter) and isinstance(rebuilt.child, Filter):
+        inner = rebuilt.child
+        return Filter(
+            inner.child,
+            conjunction(conjuncts(rebuilt.predicate)
+                        + conjuncts(inner.predicate)),
+        )
+    return rebuilt
+
+
+def local_predicates_of(expr: Expr) -> dict[str, list[Predicate]]:
+    """alias -> local predicates sitting directly above its scan."""
+    collected: dict[str, list[Predicate]] = {}
+
+    def visit(node: Expr, filters_above: list[Predicate]) -> None:
+        if isinstance(node, Filter):
+            visit(node.child, filters_above + conjuncts(node.predicate))
+            return
+        if isinstance(node, Scan):
+            local = [
+                predicate for predicate in filters_above
+                if predicate.references() <= {node.alias}
+            ]
+            if local:
+                collected.setdefault(node.alias, []).extend(local)
+            return
+        for child in node.children():
+            visit(child, [])
+
+    visit(expr, [])
+    return collected

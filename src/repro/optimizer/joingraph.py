@@ -1,0 +1,121 @@
+"""Join graph over the leaves of a join block.
+
+Nodes are block leaves (atomic units of enumeration: base scans or
+intermediate results); an edge connects two leaves when at least one join
+condition spans them. The optimizer only considers *connected* sub-plans
+(no cartesian products, like Jaql's own heuristic, Section 2.2.2) and
+rejects cyclic graphs the way the paper excludes TPC-H Q5 ("cyclic join
+conditions that are not currently supported by our optimizer").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnsupportedQueryError
+from repro.jaql.blocks import BlockLeaf, JoinBlock
+
+
+@dataclass(frozen=True)
+class JoinGraph:
+    """Adjacency over leaf indices for one join block."""
+
+    block: JoinBlock
+    adjacency: tuple[frozenset[int], ...]
+
+    @staticmethod
+    def build(block: JoinBlock) -> "JoinGraph":
+        leaf_of_alias: dict[str, int] = {}
+        for index, leaf in enumerate(block.leaves):
+            for alias in leaf.aliases:
+                leaf_of_alias[alias] = index
+        neighbors: list[set[int]] = [set() for _ in block.leaves]
+        for condition in block.conditions:
+            left = leaf_of_alias[condition.left.alias]
+            right = leaf_of_alias[condition.right.alias]
+            if left == right:
+                continue  # condition internal to an intermediate leaf
+            neighbors[left].add(right)
+            neighbors[right].add(left)
+        return JoinGraph(
+            block, tuple(frozenset(adj) for adj in neighbors)
+        )
+
+    # -- basic structure -----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.adjacency)
+
+    def leaf(self, index: int) -> BlockLeaf:
+        return self.block.leaves[index]
+
+    def neighbors_of_set(self, members: frozenset[int]) -> frozenset[int]:
+        adjacent: set[int] = set()
+        for index in members:
+            adjacent.update(self.adjacency[index])
+        return frozenset(adjacent - members)
+
+    def is_connected(self, members: frozenset[int]) -> bool:
+        if not members:
+            return False
+        start = next(iter(members))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in self.adjacency[node]:
+                if neighbor in members and neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return seen == set(members)
+
+    def edges_between(self, left: frozenset[int],
+                      right: frozenset[int]) -> bool:
+        return any(
+            bool(self.adjacency[index] & right) for index in left
+        )
+
+    # -- validation ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Reject disconnected blocks and cyclic join graphs."""
+        all_members = frozenset(range(self.size))
+        if self.size > 1 and not self.is_connected(all_members):
+            raise UnsupportedQueryError(
+                "join block is disconnected: a cartesian product would be "
+                "required"
+            )
+        if self._has_cycle():
+            raise UnsupportedQueryError(
+                "cyclic join conditions are not supported by the optimizer "
+                "(the paper excludes TPC-H Q5 for the same reason)"
+            )
+
+    def _has_cycle(self) -> bool:
+        # Undirected cycle detection via iterative DFS with parent tracking.
+        visited: set[int] = set()
+        for root in range(self.size):
+            if root in visited:
+                continue
+            stack: list[tuple[int, int]] = [(root, -1)]
+            while stack:
+                node, parent = stack.pop()
+                if node in visited:
+                    return True
+                visited.add(node)
+                for neighbor in self.adjacency[node]:
+                    if neighbor == parent:
+                        continue
+                    if neighbor in visited:
+                        return True
+                    stack.append((neighbor, node))
+        return False
+
+    # -- alias helpers ------------------------------------------------------------------
+
+    def aliases_of(self, members: frozenset[int]) -> frozenset[str]:
+        merged: set[str] = set()
+        for index in members:
+            merged.update(self.leaf(index).aliases)
+        return frozenset(merged)

@@ -1,0 +1,129 @@
+"""Memo structure (Cascades/Columbia style, Section 5.2).
+
+The memo holds one :class:`Group` per alias-connected set of block leaves.
+A group's logical expressions are the ways to produce that set: a single
+leaf, or a join of two disjoint connected sub-groups with at least one join
+condition between them (no cartesian products). Exploring a group
+enumerates exactly the closure that Columbia's join commutativity and
+associativity rules generate over an acyclic join graph, including every
+bushy shape -- the paper relies on Columbia producing bushy plans
+(Section 2.2.3).
+
+Winners (best physical plan per group) are attached by the search in
+:mod:`repro.optimizer.search`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OptimizerError
+from repro.optimizer.joingraph import JoinGraph
+from repro.optimizer.plans import PhysicalNode
+
+GroupKey = frozenset[int]
+
+
+@dataclass(frozen=True)
+class LogicalLeaf:
+    """Get(leaf): scan one block leaf."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class LogicalJoin:
+    """Join(left group, right group). Conditions are derived from the block."""
+
+    left: GroupKey
+    right: GroupKey
+
+
+LogicalExpr = LogicalLeaf | LogicalJoin
+
+
+@dataclass
+class Winner:
+    cost: float
+    plan: PhysicalNode
+
+
+@dataclass
+class Group:
+    """One equivalence class: all plans producing the same leaf set."""
+
+    key: GroupKey
+    expressions: list[LogicalExpr] = field(default_factory=list)
+    explored: bool = False
+    winner: Winner | None = None
+
+
+class Memo:
+    """Group table plus the split-enumeration exploration."""
+
+    def __init__(self, graph: JoinGraph):
+        self.graph = graph
+        self._groups: dict[GroupKey, Group] = {}
+
+    # -- access ---------------------------------------------------------------
+
+    def group(self, key: GroupKey) -> Group:
+        if not key:
+            raise OptimizerError("empty group key")
+        existing = self._groups.get(key)
+        if existing is None:
+            existing = Group(key)
+            self._groups[key] = existing
+        return existing
+
+    @property
+    def group_count(self) -> int:
+        return len(self._groups)
+
+    def groups(self) -> list[Group]:
+        return list(self._groups.values())
+
+    # -- exploration -------------------------------------------------------------
+
+    def explore(self, key: GroupKey) -> Group:
+        """Populate the group's logical expressions (idempotent)."""
+        group = self.group(key)
+        if group.explored:
+            return group
+        if len(key) == 1:
+            group.expressions.append(LogicalLeaf(next(iter(key))))
+            group.explored = True
+            return group
+
+        members = sorted(key)
+        anchor = members[0]
+        rest = members[1:]
+        # Enumerate proper subsets via bitmask over the non-anchor members;
+        # generating S1 with the anchor and taking both (S1,S2) and (S2,S1)
+        # covers both join orders (build-side choice matters for broadcast).
+        for mask in range(0, 1 << len(rest)):
+            subset = frozenset(
+                [anchor] + [rest[i] for i in range(len(rest))
+                            if mask & (1 << i)]
+            )
+            complement = key - subset
+            if not complement:
+                continue
+            if not self.graph.is_connected(subset):
+                continue
+            if not self.graph.is_connected(complement):
+                continue
+            if not self.graph.edges_between(subset, complement):
+                continue
+            group.expressions.append(LogicalJoin(subset, complement))
+            group.expressions.append(LogicalJoin(complement, subset))
+            # Make sure child groups exist so the search can recurse.
+            self.group(subset)
+            self.group(complement)
+        if not group.expressions:
+            raise OptimizerError(
+                f"group {sorted(key)} admits no connected split; "
+                f"cartesian products are not supported"
+            )
+        group.explored = True
+        return group

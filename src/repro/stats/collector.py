@@ -1,0 +1,64 @@
+"""Online statistics collection during job execution (Section 5.4).
+
+Each task accumulates a :class:`RunningStats` over its output rows. When the
+task finishes, it "writes its statistics to a file and publishes the file's
+URL in ZooKeeper"; once all tasks are done, the Jaql client reads the
+entries and merges the partial statistics. We reproduce that flow: partial
+stats are published to the :class:`CoordinationService` under a job-scoped
+key, then merged client-side by :func:`merge_published_stats`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cluster.coordination import CoordinationService
+from repro.data.table import Row
+from repro.errors import StatisticsError
+from repro.stats.statistics import RunningStats, TableStats
+
+
+def stats_scope(job_name: str) -> str:
+    """Registry scope under which a job's partial statistics live."""
+    return f"stats/{job_name}"
+
+
+class TaskStatsCollector:
+    """Per-task accumulator; publishes its partial result on completion."""
+
+    def __init__(self, job_name: str, task_id: str, columns: Iterable[str],
+                 coordination: CoordinationService, kmv_size: int = 1024):
+        self.job_name = job_name
+        self.task_id = task_id
+        self.running = RunningStats(columns, kmv_size)
+        self._coordination = coordination
+        self._published = False
+
+    def observe(self, row: Row, row_bytes: int) -> None:
+        if self._published:
+            raise StatisticsError(
+                f"task {self.task_id} already published its statistics"
+            )
+        self.running.update(row, row_bytes)
+
+    def publish(self) -> None:
+        """Task finished: publish partial stats (the 'URL in ZooKeeper')."""
+        self._coordination.publish(
+            stats_scope(self.job_name), self.task_id, self.running
+        )
+        self._published = True
+
+
+def merge_published_stats(job_name: str,
+                          coordination: CoordinationService,
+                          exact: bool = True) -> TableStats | None:
+    """Client-side merge of all partial statistics published for a job."""
+    entries = coordination.entries(stats_scope(job_name))
+    if not entries:
+        return None
+    partials = [entries[key] for key in sorted(entries)]
+    merged = partials[0]
+    for partial in partials[1:]:
+        merged = merged.merge(partial)
+    coordination.clear_scope(stats_scope(job_name))
+    return merged.freeze(exact=exact)

@@ -1,0 +1,137 @@
+"""KMV (k-minimum-values) synopsis for distinct-value estimation.
+
+Implements the synopsis of Beyer et al. (SIGMOD 2007), exactly as the paper
+uses it (Section 4.3): each map task builds a synopsis for its HDFS split;
+partial synopses are unioned at the Jaql client; and the unbiased estimator
+
+    DV = (k - 1) * M / h_k
+
+is applied, where ``h_k`` is the largest of the k retained minimum hash
+values and ``M`` is the hash domain size. With ``k = 1024`` the estimation
+error is bounded by roughly 6%.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from typing import Any, Iterable
+
+from repro.errors import StatisticsError
+
+#: Hash domain: 64-bit values, M = 2^64 - 1.
+HASH_DOMAIN = (1 << 64) - 1
+
+
+def kmv_hash(value: Any) -> int:
+    """Stable 64-bit hash of a JSON-like value.
+
+    Uses blake2b so results are reproducible across processes (Python's
+    built-in ``hash`` is salted for strings). Lists/dicts are canonicalized.
+    """
+    encoded = _canonical(value).encode("utf-8", "surrogatepass")
+    digest = hashlib.blake2b(encoded, digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _canonical(value: Any) -> str:
+    if value is None:
+        return "\x00null"
+    if isinstance(value, bool):
+        return f"\x01{value}"
+    if isinstance(value, int):
+        return f"\x02{value}"
+    if isinstance(value, float):
+        # Integral floats hash like ints so 3.0 and 3 coincide, matching
+        # join-key semantics where 3 == 3.0.
+        if value.is_integer():
+            return f"\x02{int(value)}"
+        return f"\x03{value!r}"
+    if isinstance(value, str):
+        return f"\x04{value}"
+    if isinstance(value, (list, tuple)):
+        return "\x05[" + ",".join(_canonical(item) for item in value) + "]"
+    if isinstance(value, dict):
+        inner = ",".join(
+            f"{key}:{_canonical(item)}"
+            for key, item in sorted(value.items(), key=lambda kv: str(kv[0]))
+        )
+        return "\x06{" + inner + "}"
+    raise StatisticsError(f"cannot hash value of type {type(value).__name__}")
+
+
+class KMVSynopsis:
+    """Mergeable set of the k minimum distinct hash values seen so far."""
+
+    def __init__(self, k: int = 1024):
+        if k < 2:
+            raise StatisticsError("KMV synopsis requires k >= 2")
+        self.k = k
+        # Max-heap (negated) of the k smallest hashes, plus a set for dedup.
+        self._heap: list[int] = []
+        self._members: set[int] = set()
+
+    # -- updates ---------------------------------------------------------------
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self._add_hash(kmv_hash(value))
+
+    def add_all(self, values: Iterable[Any]) -> None:
+        for value in values:
+            self.add(value)
+
+    def _add_hash(self, hashed: int) -> None:
+        if hashed in self._members:
+            return
+        if len(self._heap) < self.k:
+            self._members.add(hashed)
+            heapq.heappush(self._heap, -hashed)
+            return
+        largest = -self._heap[0]
+        if hashed < largest:
+            self._members.discard(largest)
+            self._members.add(hashed)
+            heapq.heapreplace(self._heap, -hashed)
+
+    # -- merge (union of partial synopses, Section 4.3) -------------------------
+
+    def merge(self, other: "KMVSynopsis") -> "KMVSynopsis":
+        """Union with another synopsis; result keeps min(k) of the two."""
+        merged = KMVSynopsis(min(self.k, other.k))
+        for hashed in self._members:
+            merged._add_hash(hashed)
+        for hashed in other._members:
+            merged._add_hash(hashed)
+        return merged
+
+    # -- estimation --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_saturated(self) -> bool:
+        """True when the synopsis holds k values (estimator applicable)."""
+        return len(self._heap) >= self.k
+
+    def estimate(self) -> float:
+        """Estimated number of distinct values.
+
+        Below saturation the synopsis has seen every distinct value, so the
+        exact count is returned; at saturation the unbiased KMV estimator
+        ``(k-1) * M / h_k`` is used.
+        """
+        if not self._heap:
+            return 0.0
+        if not self.is_saturated:
+            return float(len(self._heap))
+        h_k = -self._heap[0]
+        if h_k == 0:
+            return float(self.k)
+        return (self.k - 1) * HASH_DOMAIN / h_k
+
+    def snapshot(self) -> list[int]:
+        """Sorted retained hash values (for persistence/tests)."""
+        return sorted(self._members)

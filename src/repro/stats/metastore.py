@@ -1,0 +1,71 @@
+"""Statistics metastore keyed by expression signature.
+
+Section 4.1 ("Reusability of statistics"): statistics are associated with
+the *signature* of the leaf expression that produced them, so recurring
+queries -- or the same relation+predicates appearing in different queries --
+skip redundant pilot runs. The paper stores statistics in a file; we do the
+same (JSON), with an in-memory dict as the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from repro.errors import StatisticsError
+from repro.stats.statistics import TableStats
+
+
+class StatisticsMetastore:
+    """Signature-keyed store of :class:`TableStats` with file persistence."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, TableStats] = {}
+
+    # -- dict-like access -------------------------------------------------------
+
+    def __contains__(self, signature: str) -> bool:
+        return signature in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def get(self, signature: str) -> TableStats | None:
+        return self._entries.get(signature)
+
+    def put(self, signature: str, stats: TableStats) -> None:
+        if not signature:
+            raise StatisticsError("empty statistics signature")
+        self._entries[signature] = stats
+
+    def invalidate(self, signature: str) -> None:
+        self._entries.pop(signature, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            signature: stats.to_dict()
+            for signature, stats in self._entries.items()
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    @staticmethod
+    def load(path: str | Path) -> "StatisticsMetastore":
+        store = StatisticsMetastore()
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StatisticsError(f"cannot load metastore: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise StatisticsError("metastore file must hold a JSON object")
+        for signature, entry in payload.items():
+            store.put(signature, TableStats.from_dict(entry))
+        return store

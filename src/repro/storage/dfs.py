@@ -1,0 +1,159 @@
+"""In-memory distributed file system (HDFS stand-in).
+
+Files hold JSON-like rows and are split into fixed-size *blocks*; a block is
+the unit of (a) map-task input assignment and (b) pilot-run sampling, exactly
+matching how the paper's PILR algorithm samples "splits" of a relation
+(Section 4.2). Byte sizes are estimated from the owning schema so the
+simulator's I/O accounting is consistent end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.data.schema import Schema
+from repro.data.table import Row, Table
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True)
+class Split:
+    """One block of a DFS file: a contiguous run of rows."""
+
+    file_name: str
+    index: int
+    start_row: int
+    row_count: int
+    size_bytes: int
+
+    def describe(self) -> str:
+        return f"{self.file_name}[{self.index}]"
+
+
+@dataclass
+class DFSFile:
+    """A file: schema + rows, pre-partitioned into splits."""
+
+    name: str
+    schema: Schema
+    rows: list[Row]
+    block_size_bytes: int
+    splits: list[Split] = field(default_factory=list)
+    size_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.block_size_bytes <= 0:
+            raise StorageError("block size must be positive")
+        self._build_splits()
+
+    def _build_splits(self) -> None:
+        self.splits = []
+        self.size_bytes = 0
+        start = 0
+        block_rows = 0
+        block_bytes = 0
+        for position, row in enumerate(self.rows):
+            row_bytes = self.schema.estimated_row_size(row)
+            if block_bytes + row_bytes > self.block_size_bytes and block_rows:
+                self._append_split(start, block_rows, block_bytes)
+                start = position
+                block_rows = 0
+                block_bytes = 0
+            block_rows += 1
+            block_bytes += row_bytes
+            self.size_bytes += row_bytes
+        if block_rows or not self.splits:
+            self._append_split(start, block_rows, block_bytes)
+
+    def _append_split(self, start: int, rows: int, size: int) -> None:
+        self.splits.append(
+            Split(self.name, len(self.splits), start, rows, size)
+        )
+
+    # -- access --------------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    def split_rows(self, split: Split) -> list[Row]:
+        if split.file_name != self.name:
+            raise StorageError(
+                f"split {split.describe()} does not belong to {self.name}"
+            )
+        return self.rows[split.start_row:split.start_row + split.row_count]
+
+    def iter_rows(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def as_table(self) -> Table:
+        return Table(self.name, self.schema, list(self.rows))
+
+
+class DistributedFileSystem:
+    """Namespace of :class:`DFSFile` objects plus byte accounting."""
+
+    def __init__(self, block_size_bytes: int = 64 * 1024):
+        if block_size_bytes <= 0:
+            raise StorageError("block size must be positive")
+        self.block_size_bytes = block_size_bytes
+        self._files: dict[str, DFSFile] = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # -- namespace operations -------------------------------------------------
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def list_files(self) -> list[str]:
+        return sorted(self._files)
+
+    def write_table(self, table: Table, name: str | None = None,
+                    overwrite: bool = False) -> DFSFile:
+        """Materialize a table as a DFS file (the load path)."""
+        return self.write_rows(
+            name or table.name, table.schema, table.rows, overwrite=overwrite
+        )
+
+    def write_rows(self, name: str, schema: Schema, rows: Iterable[Row],
+                   overwrite: bool = False) -> DFSFile:
+        """Materialize rows as a DFS file (the job-output path)."""
+        if not name:
+            raise StorageError("file name must be non-empty")
+        if self.exists(name) and not overwrite:
+            raise StorageError(f"file already exists: {name!r}")
+        dfs_file = DFSFile(name, schema, list(rows), self.block_size_bytes)
+        self._files[name] = dfs_file
+        self.bytes_written += dfs_file.size_bytes
+        return dfs_file
+
+    def open(self, name: str) -> DFSFile:
+        try:
+            return self._files[name]
+        except KeyError:
+            raise StorageError(f"no such file: {name!r}") from None
+
+    def delete(self, name: str) -> None:
+        if name not in self._files:
+            raise StorageError(f"no such file: {name!r}")
+        del self._files[name]
+
+    # -- data-path operations ---------------------------------------------
+
+    def read_split(self, split: Split) -> list[Row]:
+        rows = self.open(split.file_name).split_rows(split)
+        self.bytes_read += split.size_bytes
+        return rows
+
+    def read_all(self, name: str) -> list[Row]:
+        dfs_file = self.open(name)
+        self.bytes_read += dfs_file.size_bytes
+        return list(dfs_file.rows)
+
+    def file_size(self, name: str) -> int:
+        return self.open(name).size_bytes
+
+    def file_splits(self, name: str) -> list[Split]:
+        return list(self.open(name).splits)

@@ -1,0 +1,127 @@
+"""Result validation against the reference interpreter.
+
+The distributed path (optimizer → compiler → simulated cluster) and the
+single-process interpreter implement the same query semantics; this module
+packages the comparison the test suite uses so downstream users can verify
+their own workloads the same way::
+
+    from repro import Dyno, generate_tpch
+    from repro.validation import verify_workload
+
+    dyno = Dyno(generate_tpch(0.1).tables, udfs=my_workload.udfs)
+    report = verify_workload(dyno, my_workload.final_spec)
+    assert report.matches, report.describe()
+
+Floats are compared with a tolerance because distributed aggregation sums
+in a different order than the interpreter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.data.table import Row, Table
+from repro.jaql.expr import QuerySpec
+from repro.jaql.interpreter import Interpreter
+from repro.jaql.rewrites import push_down_filters
+
+
+def interpret(tables: dict[str, Table],
+              spec: QuerySpec) -> list[Row]:
+    """Oracle evaluation of a query over in-memory tables."""
+    pushed = QuerySpec(spec.name, push_down_filters(spec.root))
+    return Interpreter(tables).run(pushed)
+
+
+def canonical_rows(rows: list[Row], float_places: int = 4) -> list[tuple]:
+    """Order-insensitive, float-tolerant canonical form of a row set."""
+
+    def canonical(value: Any):
+        if isinstance(value, float):
+            return round(value, float_places)
+        if isinstance(value, list):
+            return tuple(canonical(item) for item in value)
+        if isinstance(value, dict):
+            return tuple(sorted(
+                (key, canonical(item)) for key, item in value.items()
+            ))
+        return value
+
+    return sorted(
+        tuple(sorted((key, canonical(value)) for key, value in row.items()))
+        for row in rows
+    )
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of comparing a distributed execution to the oracle."""
+
+    matches: bool
+    executed_rows: int
+    expected_rows: int
+    missing: list[tuple] = field(default_factory=list)
+    unexpected: list[tuple] = field(default_factory=list)
+
+    def describe(self, limit: int = 5) -> str:
+        if self.matches:
+            return f"OK: {self.executed_rows} rows match the oracle"
+        lines = [
+            f"MISMATCH: executed {self.executed_rows} rows, "
+            f"oracle {self.expected_rows}",
+        ]
+        for label, rows in (("missing", self.missing),
+                            ("unexpected", self.unexpected)):
+            for row in rows[:limit]:
+                lines.append(f"  {label}: {row}")
+            if len(rows) > limit:
+                lines.append(f"  ... {len(rows) - limit} more {label}")
+        return "\n".join(lines)
+
+
+def compare_rows(actual: list[Row], expected: list[Row],
+                 float_places: int = 4) -> VerificationReport:
+    """Multiset comparison with float tolerance."""
+    canon_actual = canonical_rows(actual, float_places)
+    canon_expected = canonical_rows(expected, float_places)
+    if canon_actual == canon_expected:
+        return VerificationReport(True, len(actual), len(expected))
+
+    from collections import Counter
+
+    actual_counts = Counter(canon_actual)
+    expected_counts = Counter(canon_expected)
+    missing = list((expected_counts - actual_counts).elements())
+    unexpected = list((actual_counts - expected_counts).elements())
+    return VerificationReport(False, len(actual), len(expected),
+                              missing, unexpected)
+
+
+def verify_workload(dyno, query: QuerySpec | str,
+                    float_places: int = 4,
+                    **execute_kwargs) -> VerificationReport:
+    """Execute ``query`` through DYNO and compare with the oracle.
+
+    Order-sensitive stages are compared order-insensitively (LIMIT queries
+    may legitimately tie-break differently); use a dedicated check when
+    exact ordering matters.
+    """
+    spec = dyno.parse(query) if isinstance(query, str) else query
+    execution = dyno.execute(spec, **execute_kwargs)
+    expected = interpret(dyno.tables, spec)
+    if _has_limit(spec):
+        # A LIMIT can cut ties differently; compare cardinality only.
+        matches = len(execution.rows) == len(expected)
+        return VerificationReport(matches, len(execution.rows),
+                                  len(expected))
+    return compare_rows(execution.rows, expected, float_places)
+
+
+def _has_limit(spec: QuerySpec) -> bool:
+    from repro.jaql.expr import OrderBy, walk
+
+    return any(
+        isinstance(node, OrderBy) and node.limit is not None
+        for node in walk(spec.root)
+    )

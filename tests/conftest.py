@@ -1,0 +1,72 @@
+"""Shared fixtures: small deterministic datasets and ready-made systems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.dyno import Dyno
+from repro.data.tpch import generate_restaurants, generate_tpch
+from repro.jaql.expr import QuerySpec
+from repro.jaql.interpreter import Interpreter
+from repro.jaql.rewrites import push_down_filters
+
+#: Small scale factor: big enough for meaningful joins, fast enough for CI.
+TEST_SCALE_FACTOR = 0.05
+
+
+@pytest.fixture(scope="session")
+def tpch():
+    """The shared TPC-H dataset (session-scoped; treat as read-only)."""
+    return generate_tpch(TEST_SCALE_FACTOR, seed=2014)
+
+
+@pytest.fixture(scope="session")
+def tpch_tables(tpch):
+    return tpch.tables
+
+
+@pytest.fixture(scope="session")
+def restaurant_tables():
+    return generate_restaurants(restaurant_count=300, tweet_count=3000,
+                                seed=7)
+
+
+@pytest.fixture()
+def dyno_factory(tpch_tables):
+    """Builds a fresh Dyno over the shared TPC-H tables."""
+
+    def build(udfs=None, config=DEFAULT_CONFIG, tables=None):
+        return Dyno(tables if tables is not None else tpch_tables,
+                    config=config, udfs=udfs)
+
+    return build
+
+
+def reference_rows(tables, spec: QuerySpec):
+    """Oracle evaluation: interpret the pushed-down query tree locally."""
+    pushed = QuerySpec(spec.name, push_down_filters(spec.root))
+    return Interpreter(tables).run(pushed)
+
+
+def normalized_rows(rows, float_places: int = 4):
+    """Order-insensitive, float-tolerant canonical form of a row set."""
+    def canonical(value):
+        if isinstance(value, float):
+            return round(value, float_places)
+        if isinstance(value, list):
+            return tuple(canonical(item) for item in value)
+        if isinstance(value, dict):
+            return tuple(sorted(
+                (key, canonical(item)) for key, item in value.items()
+            ))
+        return value
+
+    return sorted(
+        tuple(sorted((key, canonical(value)) for key, value in row.items()))
+        for row in rows
+    )
+
+
+def assert_same_rows(actual, expected):
+    assert normalized_rows(actual) == normalized_rows(expected)

@@ -1,0 +1,59 @@
+"""Backends change timing, never results; policies change nothing either."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.dyno import Dyno
+from repro.validation import verify_workload
+from repro.workloads.queries import q7, q9_prime, q10
+
+FACTORIES = [q7, q9_prime, q10]
+
+
+@pytest.mark.parametrize("factory", FACTORIES)
+def test_hive_backend_matches_oracle(tpch_tables, factory):
+    workload = factory()
+    dyno = Dyno(tpch_tables, config=DEFAULT_CONFIG.with_backend("hive"),
+                udfs=workload.udfs)
+    report = verify_workload(dyno, workload.final_spec)
+    assert report.matches, report.describe()
+
+
+@pytest.mark.parametrize("factory", FACTORIES[:2])
+def test_fair_scheduler_matches_oracle(tpch_tables, factory):
+    workload = factory()
+    config = replace(
+        DEFAULT_CONFIG,
+        cluster=replace(DEFAULT_CONFIG.cluster, scheduler_policy="fair"),
+    )
+    dyno = Dyno(tpch_tables, config=config, udfs=workload.udfs)
+    report = verify_workload(dyno, workload.final_spec)
+    assert report.matches, report.describe()
+
+
+def test_failure_injection_matches_oracle(tpch_tables):
+    workload = q10()
+    config = replace(
+        DEFAULT_CONFIG,
+        cluster=replace(DEFAULT_CONFIG.cluster, task_failure_rate=0.3),
+    )
+    dyno = Dyno(tpch_tables, config=config, udfs=workload.udfs)
+    report = verify_workload(dyno, workload.final_spec)
+    assert report.matches, report.describe()
+
+
+def test_failure_injection_costs_time_not_rows(tpch_tables):
+    workload = q10()
+    clean_dyno = Dyno(tpch_tables, udfs=workload.udfs)
+    clean = clean_dyno.execute(workload.final_spec, mode="simple")
+
+    flaky_config = replace(
+        DEFAULT_CONFIG,
+        cluster=replace(DEFAULT_CONFIG.cluster, task_failure_rate=0.4),
+    )
+    flaky_dyno = Dyno(tpch_tables, config=flaky_config, udfs=workload.udfs)
+    flaky = flaky_dyno.execute(workload.final_spec, mode="simple")
+    assert flaky.execution_seconds > clean.execution_seconds
+    assert len(flaky.rows) == len(clean.rows)

@@ -1,0 +1,204 @@
+"""Join-block extraction and manipulation."""
+
+import pytest
+
+from repro.errors import PlanError, UnsupportedQueryError
+from repro.jaql.blocks import (
+    SOURCE_INTERMEDIATE,
+    SOURCE_TABLE,
+    BlockLeaf,
+    JoinBlock,
+    extract_query,
+)
+from repro.jaql.expr import (
+    Aggregate,
+    Comparison,
+    Filter,
+    GroupBy,
+    Join,
+    JoinCondition,
+    OrderBy,
+    Project,
+    QuerySpec,
+    Scan,
+    ref,
+)
+from repro.jaql.rewrites import push_down_filters
+
+
+def two_way_spec():
+    tree = Filter(
+        Join(
+            Scan("left", "a"), Scan("right", "b"),
+            (JoinCondition(ref("a", "id"), ref("b", "lid")),),
+        ),
+        Comparison(ref("a", "color"), "=", "red"),
+    )
+    return QuerySpec("q", push_down_filters(tree))
+
+
+class TestBlockLeaf:
+    def test_base_leaf(self):
+        leaf = BlockLeaf(frozenset(("a",)), SOURCE_TABLE, "left")
+        assert leaf.is_base
+        assert leaf.alias == "a"
+
+    def test_intermediate_leaf_multi_alias(self):
+        leaf = BlockLeaf(frozenset(("a", "b")), SOURCE_INTERMEDIATE, "f")
+        assert not leaf.is_base
+        with pytest.raises(PlanError):
+            leaf.alias  # noqa: B018 - property access raises
+
+    def test_intermediate_cannot_carry_predicates(self):
+        pred = Comparison(ref("a", "x"), "=", 1)
+        with pytest.raises(PlanError):
+            BlockLeaf(frozenset(("a",)), SOURCE_INTERMEDIATE, "f", (pred,))
+
+    def test_empty_aliases_rejected(self):
+        with pytest.raises(PlanError):
+            BlockLeaf(frozenset(), SOURCE_TABLE, "left")
+
+    def test_signature_is_alias_independent(self):
+        pred_a = Comparison(ref("a", "color"), "=", "red")
+        pred_b = Comparison(ref("b", "color"), "=", "red")
+        leaf_a = BlockLeaf(frozenset(("a",)), SOURCE_TABLE, "t", (pred_a,))
+        leaf_b = BlockLeaf(frozenset(("b",)), SOURCE_TABLE, "t", (pred_b,))
+        assert leaf_a.signature() == leaf_b.signature()
+
+    def test_signature_differs_with_predicates(self):
+        pred = Comparison(ref("a", "color"), "=", "red")
+        plain = BlockLeaf(frozenset(("a",)), SOURCE_TABLE, "t")
+        filtered = BlockLeaf(frozenset(("a",)), SOURCE_TABLE, "t", (pred,))
+        assert plain.signature() != filtered.signature()
+
+    def test_qualify_and_filter(self):
+        pred = Comparison(ref("a", "color"), "=", "red")
+        leaf = BlockLeaf(frozenset(("a",)), SOURCE_TABLE, "t", (pred,))
+        assert leaf.qualify_and_filter({"color": "red"}) == \
+            {"a.color": "red"}
+        assert leaf.qualify_and_filter({"color": "blue"}) is None
+
+    def test_intermediate_passthrough(self):
+        leaf = BlockLeaf(frozenset(("a", "b")), SOURCE_INTERMEDIATE, "f")
+        row = {"a.x": 1, "b.y": 2}
+        assert leaf.qualify_and_filter(row) is row
+
+
+class TestExtraction:
+    def test_two_way(self):
+        extracted = extract_query(two_way_spec())
+        block = extracted.block
+        assert len(block.leaves) == 2
+        assert len(block.conditions) == 1
+        assert block.leaf_for("a").predicates
+        assert not block.leaf_for("b").predicates
+
+    def test_stages_collected_in_execution_order(self):
+        tree = Project(
+            OrderBy(
+                GroupBy(
+                    two_way_spec().root,
+                    (ref("a", "color"),),
+                    (Aggregate("count", None, "n"),),
+                ),
+                (ref("", "n"),),
+            ),
+            ((ref("a", "color"), "color"),),
+        )
+        extracted = extract_query(QuerySpec("q", tree))
+        kinds = [type(stage).__name__ for stage in extracted.stages]
+        assert kinds == ["GroupBy", "OrderBy", "Project"]
+
+    def test_group_below_join_rejected(self):
+        grouped = GroupBy(Scan("right", "b"), (ref("b", "lid"),),
+                          (Aggregate("count", None, "n"),))
+        tree = Join(Scan("left", "a"), grouped,
+                    (JoinCondition(ref("a", "id"), ref("b", "lid")),))
+        with pytest.raises(UnsupportedQueryError):
+            extract_query(QuerySpec("q", tree))
+
+    def test_single_scan_query(self):
+        tree = Filter(Scan("left", "a"),
+                      Comparison(ref("a", "id"), ">", 0))
+        extracted = extract_query(QuerySpec("q", push_down_filters(tree)))
+        assert len(extracted.block.leaves) == 1
+
+    def test_non_local_predicate_recorded(self):
+        cross = Comparison(ref("a", "id"), "<", ref("b", "size"))
+        tree = Filter(
+            Join(Scan("left", "a"), Scan("right", "b"),
+                 (JoinCondition(ref("a", "id"), ref("b", "lid")),)),
+            cross,
+        )
+        extracted = extract_query(QuerySpec("q", push_down_filters(tree)))
+        assert extracted.block.non_local_predicates == (cross,)
+
+
+class TestJoinBlockInvariants:
+    def make_block(self):
+        return extract_query(two_way_spec()).block
+
+    def test_alias_covered_twice_rejected(self):
+        leaf = BlockLeaf(frozenset(("a",)), SOURCE_TABLE, "left")
+        with pytest.raises(PlanError):
+            JoinBlock("b", (leaf, leaf), ())
+
+    def test_condition_over_unknown_alias_rejected(self):
+        leaf = BlockLeaf(frozenset(("a",)), SOURCE_TABLE, "left")
+        condition = JoinCondition(ref("a", "x"), ref("z", "y"))
+        with pytest.raises(PlanError):
+            JoinBlock("b", (leaf,), (condition,))
+
+    def test_conditions_between(self):
+        block = self.make_block()
+        found = block.conditions_between(frozenset(("a",)),
+                                         frozenset(("b",)))
+        assert len(found) == 1
+        assert block.conditions_between(frozenset(("a",)),
+                                        frozenset(("a",))) == ()
+
+    def test_leaf_for_unknown_alias(self):
+        with pytest.raises(PlanError):
+            self.make_block().leaf_for("zz")
+
+
+class TestSubstitute:
+    def three_leaf_block(self):
+        tree = Join(
+            Join(Scan("t1", "a"), Scan("t2", "b"),
+                 (JoinCondition(ref("a", "k"), ref("b", "k")),)),
+            Scan("t3", "c"),
+            (JoinCondition(ref("b", "j"), ref("c", "j")),),
+        )
+        return extract_query(QuerySpec("q", tree)).block
+
+    def test_substitute_merges_leaves(self):
+        block = self.three_leaf_block()
+        updated = block.substitute(frozenset(("a", "b")), "file1", ())
+        assert len(updated.leaves) == 2
+        merged = updated.leaf_for("a")
+        assert merged.aliases == {"a", "b"}
+        assert merged.source_name == "file1"
+        # Condition a-b disappeared, b-c survives.
+        assert len(updated.conditions) == 1
+
+    def test_substitute_removes_applied_predicates(self):
+        cross = Comparison(ref("a", "x"), "<", ref("b", "y"))
+        block = self.three_leaf_block()
+        block = JoinBlock(block.name, block.leaves, block.conditions,
+                          (cross,))
+        updated = block.substitute(frozenset(("a", "b")), "f", (cross,))
+        assert updated.non_local_predicates == ()
+
+    def test_substitute_misaligned_aliases_rejected(self):
+        block = self.three_leaf_block()
+        merged = block.substitute(frozenset(("a", "b")), "f", ())
+        with pytest.raises(PlanError):
+            # 'a' is now inside an intermediate covering {a, b}.
+            merged.substitute(frozenset(("a", "c")), "g", ())
+
+    def test_substitute_all_leaves(self):
+        block = self.three_leaf_block()
+        final = block.substitute(frozenset(("a", "b", "c")), "out", ())
+        assert len(final.leaves) == 1
+        assert final.conditions == ()

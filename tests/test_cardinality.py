@@ -1,0 +1,194 @@
+"""Cardinality model: group estimates, composite keys, predicate selectivity."""
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.jaql.blocks import SOURCE_TABLE, BlockLeaf, JoinBlock
+from repro.jaql.expr import And, Comparison, JoinCondition, Or, UdfPredicate, ref
+from repro.jaql.functions import Udf
+from repro.optimizer.cardinality import (
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    UDF_SELECTIVITY,
+    CardinalityModel,
+)
+from repro.stats.statistics import ColumnStats, TableStats, composite_name
+
+
+def leaf(alias, table="t"):
+    return BlockLeaf(frozenset((alias,)), SOURCE_TABLE, table)
+
+
+def stats(rows, width=100.0, **columns):
+    return TableStats(rows, rows * width, {
+        name: ColumnStats(name, dv) for name, dv in columns.items()
+    })
+
+
+def fk_block():
+    """fact f (1000 rows, fk over 10 dims) joined to dim d (10 rows)."""
+    leaves = (leaf("f", "fact"), leaf("d", "dim"))
+    conditions = (JoinCondition(ref("f", "fk"), ref("d", "pk")),)
+    block = JoinBlock("b", leaves, conditions)
+    leaf_stats = {
+        leaves[0].signature(): stats(1000.0, **{"f.fk": 10.0}),
+        leaves[1].signature(): stats(10.0, **{"d.pk": 10.0}),
+    }
+    return block, leaf_stats
+
+
+class TestGroupEstimates:
+    def test_single_leaf(self):
+        block, leaf_stats = fk_block()
+        model = CardinalityModel(block, leaf_stats)
+        estimate = model.estimate(frozenset(("f",)))
+        assert estimate.rows == 1000.0
+
+    def test_fk_join_preserves_fact_cardinality(self):
+        block, leaf_stats = fk_block()
+        model = CardinalityModel(block, leaf_stats)
+        estimate = model.estimate(frozenset(("f", "d")))
+        assert estimate.rows == pytest.approx(1000.0)
+
+    def test_bytes_use_combined_width(self):
+        block, leaf_stats = fk_block()
+        model = CardinalityModel(block, leaf_stats)
+        estimate = model.estimate(frozenset(("f", "d")))
+        assert estimate.bytes == pytest.approx(1000.0 * 200.0)
+
+    def test_estimate_is_order_free_and_cached(self):
+        block, leaf_stats = fk_block()
+        model = CardinalityModel(block, leaf_stats)
+        first = model.estimate(frozenset(("f", "d")))
+        second = model.estimate(frozenset(("d", "f")))
+        assert first is second  # cached by set
+
+    def test_missing_leaf_stats_raises(self):
+        block, leaf_stats = fk_block()
+        leaf_stats.pop(block.leaves[0].signature())
+        with pytest.raises(StatisticsError):
+            CardinalityModel(block, leaf_stats)
+
+    def test_unknown_alias_raises(self):
+        block, leaf_stats = fk_block()
+        model = CardinalityModel(block, leaf_stats)
+        with pytest.raises(StatisticsError):
+            model.estimate(frozenset(("zz",)))
+
+
+class TestCompositeKeys:
+    def make(self, with_composite_stats: bool):
+        leaves = (leaf("l", "lineitem"), leaf("ps", "partsupp"))
+        conditions = (
+            JoinCondition(ref("l", "pk"), ref("ps", "pk")),
+            JoinCondition(ref("l", "sk"), ref("ps", "sk")),
+        )
+        block = JoinBlock("b", leaves, conditions)
+        l_columns = {
+            "l.pk": ColumnStats("l.pk", 100.0),
+            "l.sk": ColumnStats("l.sk", 50.0),
+        }
+        if with_composite_stats:
+            comp = composite_name(["l.pk", "l.sk"])
+            l_columns[comp] = ColumnStats(comp, 400.0)
+        leaf_stats = {
+            leaves[0].signature(): TableStats(10000.0, 1e6, l_columns),
+            leaves[1].signature(): stats(400.0, **{"ps.pk": 100.0,
+                                                   "ps.sk": 50.0}),
+        }
+        return block, leaf_stats
+
+    def test_composite_stats_preferred(self):
+        block, leaf_stats = self.make(with_composite_stats=True)
+        model = CardinalityModel(block, leaf_stats)
+        estimate = model.estimate(frozenset(("l", "ps")))
+        # sel = 1/max(dv_pair=400, dv_ps=400) -> 10000*400/400.
+        assert estimate.rows == pytest.approx(10000.0)
+
+    def test_product_capped_by_cardinality_without_composite(self):
+        block, leaf_stats = self.make(with_composite_stats=False)
+        model = CardinalityModel(block, leaf_stats)
+        estimate = model.estimate(frozenset(("l", "ps")))
+        # dv product = 5000 on l side, capped at 400 rows on ps side;
+        # sel = 1/5000.
+        assert estimate.rows == pytest.approx(10000.0 * 400.0 / 5000.0)
+
+
+class TestPredicateSelectivity:
+    def model(self):
+        block, leaf_stats = fk_block()
+        leaf_stats[block.leaves[0].signature()] = TableStats(
+            1000.0, 1e5, {
+                "f.fk": ColumnStats("f.fk", 10.0),
+                "f.num": ColumnStats("f.num", 100.0, 0, 100),
+                "f.cat": ColumnStats("f.cat", 4.0),
+            },
+        )
+        return CardinalityModel(block, leaf_stats)
+
+    def test_equality_uses_distinct(self):
+        model = self.model()
+        pred = Comparison(ref("f", "cat"), "=", "x")
+        assert model.predicate_selectivity(pred) == pytest.approx(0.25)
+
+    def test_equality_default_without_stats(self):
+        model = self.model()
+        pred = Comparison(ref("f", "unknown"), "=", 1)
+        assert model.predicate_selectivity(pred) == DEFAULT_EQ_SELECTIVITY
+
+    def test_inequality(self):
+        model = self.model()
+        pred = Comparison(ref("f", "cat"), "!=", "x")
+        assert model.predicate_selectivity(pred) == pytest.approx(0.75)
+
+    def test_range_interpolates_min_max(self):
+        model = self.model()
+        assert model.predicate_selectivity(
+            Comparison(ref("f", "num"), "<", 25)
+        ) == pytest.approx(0.25)
+        assert model.predicate_selectivity(
+            Comparison(ref("f", "num"), ">=", 25)
+        ) == pytest.approx(0.75)
+
+    def test_range_default_for_strings(self):
+        model = self.model()
+        pred = Comparison(ref("f", "cat"), "<", "m")
+        assert model.predicate_selectivity(pred) == \
+            DEFAULT_RANGE_SELECTIVITY
+
+    def test_udf_is_opaque(self):
+        model = self.model()
+        udf = Udf("u", lambda v: False)  # actual selectivity zero!
+        pred = UdfPredicate(udf, (ref("f", "cat"),))
+        assert model.predicate_selectivity(pred) == UDF_SELECTIVITY
+
+    def test_and_multiplies(self):
+        model = self.model()
+        pred = And((
+            Comparison(ref("f", "cat"), "=", "x"),
+            Comparison(ref("f", "num"), "<", 50),
+        ))
+        assert model.predicate_selectivity(pred) == pytest.approx(0.125)
+
+    def test_or_combines(self):
+        model = self.model()
+        pred = Or((
+            Comparison(ref("f", "cat"), "=", "x"),
+            Comparison(ref("f", "cat"), "=", "y"),
+        ))
+        assert model.predicate_selectivity(pred) == pytest.approx(
+            1 - 0.75 * 0.75
+        )
+
+    def test_column_to_column_equality(self):
+        model = self.model()
+        pred = Comparison(ref("f", "fk"), "=", ref("d", "pk"))
+        assert model.predicate_selectivity(pred) == pytest.approx(0.1)
+
+    def test_non_local_predicate_reduces_group_estimate(self):
+        block, leaf_stats = fk_block()
+        pred = Comparison(ref("f", "fk"), "!=", ref("d", "pk"))
+        block = JoinBlock(block.name, block.leaves, block.conditions, (pred,))
+        model = CardinalityModel(block, leaf_stats)
+        with_pred = model.estimate(frozenset(("f", "d"))).rows
+        assert with_pred < 1000.0

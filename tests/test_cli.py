@@ -1,0 +1,97 @@
+"""Command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_workload_and_sql_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--workload", "Q10",
+                                       "--sql", "SELECT 1"])
+
+    def test_paper_sf_choices(self):
+        args = build_parser().parse_args(["--workload", "Q10",
+                                          "--paper-sf", "100"])
+        assert args.paper_sf == 100
+
+
+class TestExecution:
+    def test_workload_run(self):
+        code, output = run_cli("--workload", "Q10",
+                               "--scale-factor", "0.05")
+        assert code == 0
+        assert "result row(s)" in output
+        assert "pilot runs" in output
+
+    def test_sql_run_with_plans(self):
+        code, output = run_cli(
+            "--sql",
+            "SELECT n.n_name AS name FROM nation n, region r "
+            "WHERE n.n_regionkey = r.r_regionkey AND r.r_name = 'ASIA'",
+            "--scale-factor", "0.05", "--show-plans",
+        )
+        assert code == 0
+        assert "iteration 0" in output
+
+    def test_explain_only(self):
+        code, output = run_cli("--workload", "Q10",
+                               "--scale-factor", "0.05", "--explain")
+        assert code == 0
+        assert "best plan" in output
+        assert "result row(s)" not in output
+
+    def test_multi_stage_workload(self):
+        code, output = run_cli("--workload", "Q2",
+                               "--scale-factor", "0.05", "--mode", "simple")
+        assert code == 0
+        assert "result row(s)" in output
+
+    def test_sql_file(self, tmp_path):
+        path = tmp_path / "query.sql"
+        path.write_text(
+            "SELECT r.r_name AS name FROM region r WHERE r.r_name = 'ASIA'"
+        )
+        code, output = run_cli("--sql-file", str(path),
+                               "--scale-factor", "0.05")
+        assert code == 0
+        assert "ASIA" in output
+
+    def test_stats_round_trip(self, tmp_path):
+        stats = tmp_path / "stats.json"
+        code, output = run_cli("--workload", "Q10",
+                               "--scale-factor", "0.05",
+                               "--save-stats", str(stats))
+        assert code == 0 and stats.exists()
+        code, output = run_cli("--workload", "Q10",
+                               "--scale-factor", "0.05",
+                               "--load-stats", str(stats))
+        assert code == 0
+        assert "loaded" in output
+        assert "pilot runs            0.0 s" in output
+
+    def test_error_reported_cleanly(self):
+        code, output = run_cli(
+            "--sql", "SELECT a.x FROM t1 a", "--scale-factor", "0.05"
+        )
+        assert code == 1
+        assert "error:" in output
+
+    def test_hive_backend_flag(self):
+        code, output = run_cli("--workload", "Q10",
+                               "--scale-factor", "0.05",
+                               "--backend", "hive")
+        assert code == 0

@@ -1,0 +1,67 @@
+"""Task-level statistics collection and publication (Section 5.4)."""
+
+import pytest
+
+from repro.cluster.coordination import CoordinationService
+from repro.errors import StatisticsError
+from repro.stats.collector import (
+    TaskStatsCollector,
+    merge_published_stats,
+    stats_scope,
+)
+
+
+def make_collector(service, task_id="task-0", columns=("x",)):
+    return TaskStatsCollector("job1", task_id, columns, service)
+
+
+class TestCollector:
+    def test_observe_and_publish(self):
+        service = CoordinationService()
+        collector = make_collector(service)
+        collector.observe({"x": 1}, 10)
+        collector.observe({"x": 2}, 10)
+        collector.publish()
+        entries = service.entries(stats_scope("job1"))
+        assert list(entries) == ["task-0"]
+        assert entries["task-0"].row_count == 2
+
+    def test_observe_after_publish_rejected(self):
+        service = CoordinationService()
+        collector = make_collector(service)
+        collector.publish()
+        with pytest.raises(StatisticsError):
+            collector.observe({"x": 1}, 10)
+
+    def test_merge_combines_partials(self):
+        service = CoordinationService()
+        for task in range(3):
+            collector = make_collector(service, f"task-{task}")
+            for i in range(10):
+                collector.observe({"x": task * 10 + i}, 5)
+            collector.publish()
+        merged = merge_published_stats("job1", service)
+        assert merged.row_count == 30
+        assert merged.size_bytes == 150
+        assert merged.column("x").distinct_values == pytest.approx(30)
+        assert merged.column("x").min_value == 0
+        assert merged.column("x").max_value == 29
+
+    def test_merge_clears_scope(self):
+        service = CoordinationService()
+        collector = make_collector(service)
+        collector.observe({"x": 1}, 1)
+        collector.publish()
+        merge_published_stats("job1", service)
+        assert service.entries(stats_scope("job1")) == {}
+
+    def test_merge_without_entries_returns_none(self):
+        assert merge_published_stats("ghost", CoordinationService()) is None
+
+    def test_merge_exact_flag(self):
+        service = CoordinationService()
+        collector = make_collector(service)
+        collector.observe({"x": 1}, 1)
+        collector.publish()
+        merged = merge_published_stats("job1", service, exact=False)
+        assert not merged.exact

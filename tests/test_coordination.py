@@ -1,0 +1,84 @@
+"""Coordination service and Hadoop-style counters."""
+
+import pytest
+
+from repro.cluster.coordination import CoordinationService
+from repro.cluster.counters import Counters
+from repro.errors import CoordinationError
+
+
+class TestSharedCounter:
+    def test_increment(self):
+        service = CoordinationService()
+        counter = service.counter("k")
+        assert counter.increment() == 1
+        assert counter.increment(5) == 6
+        assert counter.value == 6
+
+    def test_counter_identity_by_name(self):
+        service = CoordinationService()
+        assert service.counter("a") is service.counter("a")
+        assert service.counter("a") is not service.counter("b")
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(CoordinationError):
+            CoordinationService().counter("k").increment(-1)
+
+    def test_reset(self):
+        service = CoordinationService()
+        service.counter("k").increment(10)
+        service.reset_counter("k")
+        assert service.counter("k").value == 0
+
+
+class TestRegistry:
+    def test_publish_and_read(self):
+        service = CoordinationService()
+        service.publish("stats/job1", "task-0", {"rows": 5})
+        service.publish("stats/job1", "task-1", {"rows": 7})
+        entries = service.entries("stats/job1")
+        assert entries == {"task-0": {"rows": 5}, "task-1": {"rows": 7}}
+
+    def test_duplicate_publish_rejected(self):
+        service = CoordinationService()
+        service.publish("scope", "key", 1)
+        with pytest.raises(CoordinationError):
+            service.publish("scope", "key", 2)
+
+    def test_scopes_are_isolated(self):
+        service = CoordinationService()
+        service.publish("a", "k", 1)
+        assert service.entries("b") == {}
+
+    def test_clear_scope(self):
+        service = CoordinationService()
+        service.publish("a", "k", 1)
+        service.clear_scope("a")
+        assert service.entries("a") == {}
+        service.publish("a", "k", 2)  # republish allowed after clear
+
+
+class TestCounters:
+    def test_group_increment_and_get(self):
+        counters = Counters()
+        counters.increment("map", Counters.MAP_INPUT_RECORDS, 10)
+        counters.increment("map", Counters.MAP_INPUT_RECORDS, 5)
+        assert counters.get("map", Counters.MAP_INPUT_RECORDS) == 15
+
+    def test_missing_counter_is_zero(self):
+        counters = Counters()
+        assert counters.get("map", "NOPE") == 0
+        assert counters.get("nope", "NOPE") == 0
+
+    def test_total_across_groups(self):
+        counters = Counters()
+        counters.increment("map", "X", 3)
+        counters.increment("reduce", "X", 4)
+        assert counters.total("X") == 7
+
+    def test_as_dict(self):
+        counters = Counters()
+        counters.increment("map", "A", 1)
+        counters.increment("reduce", "B", 2)
+        snapshot = counters.as_dict()
+        assert snapshot == {"map": {"A": 1}, "reduce": {"B": 2}}

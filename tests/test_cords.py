@@ -1,0 +1,79 @@
+"""CORDS-style correlation discovery rediscovers the injected pairs."""
+
+import random
+
+from repro.data.schema import INT, STRING, Schema
+from repro.data.table import Table
+from repro.workloads.cords import discover_correlations
+
+
+class TestDiscovery:
+    def test_finds_orders_zone_region_dependency(self, tpch_tables):
+        findings = discover_correlations(
+            tpch_tables["orders"],
+            columns=["o_orderzone", "o_orderregion", "o_orderstatus",
+                     "o_orderpriority"],
+        )
+        best = {(f.x, f.y) for f in findings
+                if f.is_soft_functional_dependency}
+        assert ("o_orderzone", "o_orderregion") in best
+
+    def test_independent_columns_not_flagged(self, tpch_tables):
+        findings = discover_correlations(
+            tpch_tables["orders"],
+            columns=["o_orderstatus", "o_orderpriority"],
+        )
+        assert findings == []
+
+    def test_restaurant_zip_state(self, restaurant_tables):
+        findings = discover_correlations(
+            restaurant_tables["restaurant"],
+            columns=["zip", "state"],
+            value_of=lambda row, name: row["addr"][0][name],
+        )
+        assert any(f.x == "zip" and f.y == "state"
+                   and f.is_soft_functional_dependency
+                   for f in findings)
+
+    def test_synthetic_perfect_dependency(self):
+        rng = random.Random(3)
+        rows = []
+        for _ in range(800):
+            x = rng.randrange(20)
+            rows.append({"x": x, "y": x // 5, "z": rng.randrange(4)})
+        table = Table("t", Schema.of(x=INT, y=INT, z=INT), rows)
+        findings = discover_correlations(table)
+        pairs = {(f.x, f.y): f for f in findings}
+        assert ("x", "y") in pairs
+        assert pairs[("x", "y")].functional_strength == 1.0
+        assert ("x", "z") not in pairs
+
+    def test_near_key_columns_skipped(self):
+        rows = [{"id": i, "cat": i % 3} for i in range(2000)]
+        table = Table("t", Schema.of(id=INT, cat=INT), rows)
+        findings = discover_correlations(table, max_distinct=100)
+        assert all("id" not in (f.x, f.y) for f in findings)
+
+    def test_nulls_ignored(self):
+        rows = [{"x": i % 5 if i % 2 else None, "y": (i % 5) * 10
+                 if i % 2 else None} for i in range(600)]
+        table = Table("t", Schema.of(x=INT, y=INT), rows)
+        findings = discover_correlations(table)
+        assert any((f.x, f.y) == ("x", "y") for f in findings)
+
+    def test_describe_mentions_kind(self):
+        rng = random.Random(3)
+        rows = [{"x": v, "y": v} for v in
+                (rng.randrange(10) for _ in range(500))]
+        table = Table("t", Schema.of(x=INT, y=INT), rows)
+        findings = discover_correlations(table)
+        assert findings
+        assert "FD" in findings[0].describe() or \
+            "correlated" in findings[0].describe()
+
+    def test_deterministic_given_seed(self, tpch_tables):
+        kwargs = dict(columns=["o_orderzone", "o_orderregion"], seed=5)
+        first = discover_correlations(tpch_tables["orders"], **kwargs)
+        second = discover_correlations(tpch_tables["orders"], **kwargs)
+        assert [(f.x, f.y, f.phi_squared) for f in first] == \
+            [(f.x, f.y, f.phi_squared) for f in second]

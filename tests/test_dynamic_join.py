@@ -1,0 +1,109 @@
+"""Dynamic join operator (Section 8 future-work extension)."""
+
+import pytest
+
+from repro.core.baselines import oracle_leaf_stats, relopt_plan
+from repro.core.dynamic_join import DynamicJoinExecutor
+from repro.optimizer.plans import REPARTITION, summarize_plan
+from repro.optimizer.search import JoinOptimizer
+from repro.workloads.queries import q9_prime, q10
+from tests.conftest import assert_same_rows
+
+
+def executor_for(dyno):
+    return DynamicJoinExecutor(dyno.runtime, dyno.config)
+
+
+def optimized_plan(dyno, block, stats=None):
+    stats = stats or oracle_leaf_stats(dyno.tables, block)
+    return JoinOptimizer(block, stats, dyno.config.optimizer).optimize().plan
+
+
+class TestExecution:
+    def test_results_match_plain_execution(self, dyno_factory):
+        workload = q10()
+        dyno = dyno_factory(udfs=workload.udfs)
+        block = dyno.prepare(workload.final_spec).block
+        plan = optimized_plan(dyno, block)
+        plain = dyno.executor.execute_physical_plan(block, plan)
+        plain_rows = dyno.dfs.read_all(plain.output_file)
+
+        dyno2 = dyno_factory(udfs=workload.udfs)
+        block2 = dyno2.prepare(workload.final_spec).block
+        plan2 = optimized_plan(dyno2, block2)
+        dynamic = executor_for(dyno2).execute_plan(block2, plan2)
+        dynamic_rows = dyno2.dfs.read_all(dynamic.output_file)
+        assert_same_rows(dynamic_rows, plain_rows)
+
+    def test_switches_conservative_repartition_plan(self, dyno_factory):
+        """RELOPT's UDF-blind plan repartitions dimensions that actually
+        fit in memory; the dynamic operator flips them at runtime."""
+        workload = q9_prime(udf_selectivity=0.001)
+        dyno = dyno_factory(udfs=workload.udfs)
+        block = dyno.prepare(workload.final_spec).block
+        plan, _ = relopt_plan(block, dyno.tables, dyno.config)
+        assert summarize_plan(plan).repartition_joins >= 2
+        result = executor_for(dyno).execute_plan(block, plan)
+        assert result.switches >= 1
+        assert result.output_file
+
+    def test_switching_saves_time_on_all_repartition_plan(
+            self, dyno_factory):
+        """An ultra-conservative plan (everything repartitioned) executed
+        with dynamic switching beats the same plan executed as planned:
+        the runtime discovers the inputs actually fit in memory."""
+        from repro.config import OptimizerConfig
+
+        workload = q9_prime(udf_selectivity=0.05)
+
+        def all_repartition_plan(dyno, block):
+            stats = oracle_leaf_stats(dyno.tables, block)
+            conservative = OptimizerConfig(max_broadcast_bytes=8)
+            return JoinOptimizer(block, stats, conservative).optimize().plan
+
+        dyno_a = dyno_factory(udfs=workload.udfs)
+        block_a = dyno_a.prepare(workload.final_spec).block
+        plan_a = all_repartition_plan(dyno_a, block_a)
+        assert summarize_plan(plan_a).broadcast_joins == 0
+        plain = dyno_a.executor.execute_physical_plan(block_a, plan_a,
+                                                      strategy="SIMPLE_SO")
+
+        dyno_b = dyno_factory(udfs=workload.udfs)
+        block_b = dyno_b.prepare(workload.final_spec).block
+        plan_b = all_repartition_plan(dyno_b, block_b)
+        dynamic = executor_for(dyno_b).execute_plan(block_b, plan_b)
+
+        assert dynamic.switches >= 2
+        assert dynamic.execution_seconds < plain.execution_seconds
+
+    def test_no_switch_when_nothing_fits(self, dyno_factory):
+        from dataclasses import replace
+
+        workload = q10()
+        dyno = dyno_factory(udfs=workload.udfs)
+        # Shrink task memory so nothing can ever switch.
+        dyno.config = replace(
+            dyno.config,
+            cluster=replace(dyno.config.cluster, task_memory_bytes=8),
+        )
+        block = dyno.prepare(workload.final_spec).block
+        stats = oracle_leaf_stats(dyno.tables, block)
+        from repro.config import OptimizerConfig
+
+        plan = JoinOptimizer(
+            block, stats, OptimizerConfig(max_broadcast_bytes=8)
+        ).optimize().plan
+        assert summarize_plan(plan).repartition_joins >= 1
+        executor = DynamicJoinExecutor(dyno.runtime, dyno.config)
+        result = executor.execute_plan(block, plan)
+        assert result.switches == 0
+        assert result.output_file
+
+    def test_plan_signatures_recorded(self, dyno_factory):
+        workload = q10()
+        dyno = dyno_factory(udfs=workload.udfs)
+        block = dyno.prepare(workload.final_spec).block
+        plan = optimized_plan(dyno, block)
+        result = executor_for(dyno).execute_plan(block, plan)
+        assert len(result.plan_signatures) >= 1
+        assert result.jobs_run >= 1

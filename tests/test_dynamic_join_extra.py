@@ -1,0 +1,56 @@
+"""Dynamic join operator: the filter-first observation path."""
+
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.core.baselines import oracle_leaf_stats
+from repro.core.dynamic_join import DynamicJoinExecutor
+from repro.optimizer.plans import summarize_plan
+from repro.optimizer.search import JoinOptimizer
+from repro.workloads.queries import q9_prime
+
+
+def all_repartition_setup(dyno_factory, selectivity=0.05):
+    workload = q9_prime(udf_selectivity=selectivity)
+    dyno = dyno_factory(udfs=workload.udfs)
+    block = dyno.prepare(workload.final_spec).block
+    stats = oracle_leaf_stats(dyno.tables, block)
+    plan = JoinOptimizer(
+        block, stats, OptimizerConfig(max_broadcast_bytes=8)
+    ).optimize().plan
+    return dyno, block, plan
+
+
+class TestFilterFirstObservation:
+    def test_filtered_leaves_materialized_before_switch(self, dyno_factory):
+        dyno, block, plan = all_repartition_setup(dyno_factory)
+        assert summarize_plan(plan).broadcast_joins == 0
+        executor = DynamicJoinExecutor(dyno.runtime, dyno.config)
+        result = executor.execute_plan(block, plan)
+        # Filter jobs materialized the UDF-filtered dimensions, whose
+        # observed sizes enabled the broadcast switches.
+        assert result.switches >= 2
+        filter_outputs = [
+            name for name in dyno.dfs.list_files() if ".djf" in name
+        ]
+        assert filter_outputs
+
+    def test_switch_penalty_accounted(self, dyno_factory):
+        from repro.core.dynamic_join import SWITCH_PENALTY_SECONDS
+
+        dyno, block, plan = all_repartition_setup(dyno_factory)
+        executor = DynamicJoinExecutor(dyno.runtime, dyno.config)
+        result = executor.execute_plan(block, plan)
+        assert result.execution_seconds > \
+            result.switches * SWITCH_PENALTY_SECONDS
+
+    def test_rows_match_plain_execution(self, dyno_factory):
+        dyno_a, block_a, plan_a = all_repartition_setup(dyno_factory)
+        plain = dyno_a.executor.execute_physical_plan(block_a, plan_a)
+        plain_rows = dyno_a.dfs.read_all(plain.output_file)
+
+        dyno_b, block_b, plan_b = all_repartition_setup(dyno_factory)
+        executor = DynamicJoinExecutor(dyno_b.runtime, dyno_b.config)
+        dynamic = executor.execute_plan(block_b, plan_b)
+        dynamic_rows = dyno_b.dfs.read_all(dynamic.output_file)
+        assert len(dynamic_rows) == len(plain_rows)

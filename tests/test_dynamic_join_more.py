@@ -1,0 +1,78 @@
+"""Dynamic join operator: plan surgery internals."""
+
+import pytest
+
+from repro.core.dynamic_join import _lowest_ready_join, _replace_subtree
+from repro.errors import PlanError
+from repro.jaql.blocks import SOURCE_INTERMEDIATE, SOURCE_TABLE, BlockLeaf
+from repro.jaql.expr import JoinCondition, ref
+from repro.optimizer.plans import BROADCAST, PhysJoin, PhysLeaf
+
+
+def leaf(alias):
+    block_leaf = BlockLeaf(frozenset((alias,)), SOURCE_TABLE, alias)
+    return PhysLeaf(aliases=frozenset((alias,)), est_rows=1.0,
+                    est_bytes=10.0, cost=0.0, leaf=block_leaf)
+
+
+def join(left, right):
+    condition = JoinCondition(
+        ref(sorted(left.aliases)[0], "k"), ref(sorted(right.aliases)[0], "k")
+    )
+    return PhysJoin(aliases=left.aliases | right.aliases, est_rows=1.0,
+                    est_bytes=10.0, cost=0.0, method=BROADCAST,
+                    left=left, right=right, conditions=(condition,))
+
+
+class TestLowestReadyJoin:
+    def test_left_deep_returns_bottom(self):
+        plan = join(join(leaf("a"), leaf("b")), leaf("c"))
+        assert _lowest_ready_join(plan).aliases == {"a", "b"}
+
+    def test_right_nested(self):
+        plan = join(leaf("a"), join(leaf("b"), leaf("c")))
+        assert _lowest_ready_join(plan).aliases == {"b", "c"}
+
+    def test_single_join(self):
+        plan = join(leaf("a"), leaf("b"))
+        assert _lowest_ready_join(plan) is plan
+
+    def test_leaf_only_rejected(self):
+        with pytest.raises(PlanError):
+            _lowest_ready_join(leaf("a"))
+
+
+class TestReplaceSubtree:
+    def test_replaces_matching_aliases(self):
+        plan = join(join(leaf("a"), leaf("b")), leaf("c"))
+        replacement = PhysLeaf(
+            aliases=frozenset(("a", "b")), est_rows=2.0, est_bytes=20.0,
+            cost=0.0,
+            leaf=BlockLeaf(frozenset(("a", "b")), SOURCE_INTERMEDIATE,
+                           "out1"),
+        )
+        updated = _replace_subtree(plan, frozenset(("a", "b")), replacement)
+        assert isinstance(updated.left, PhysLeaf)
+        assert updated.left.leaf.source_name == "out1"
+        assert updated.right.aliases == {"c"}
+
+    def test_untouched_when_no_match(self):
+        plan = join(leaf("a"), leaf("b"))
+        replacement = PhysLeaf(
+            aliases=frozenset(("z",)), est_rows=1.0, est_bytes=1.0,
+            cost=0.0,
+            leaf=BlockLeaf(frozenset(("z",)), SOURCE_INTERMEDIATE, "z"),
+        )
+        updated = _replace_subtree(plan, frozenset(("z",)), replacement)
+        assert updated.aliases == {"a", "b"}
+
+    def test_whole_plan_replaceable(self):
+        plan = join(leaf("a"), leaf("b"))
+        replacement = PhysLeaf(
+            aliases=frozenset(("a", "b")), est_rows=1.0, est_bytes=1.0,
+            cost=0.0,
+            leaf=BlockLeaf(frozenset(("a", "b")), SOURCE_INTERMEDIATE,
+                           "all"),
+        )
+        updated = _replace_subtree(plan, frozenset(("a", "b")), replacement)
+        assert updated is replacement

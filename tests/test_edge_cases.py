@@ -1,0 +1,129 @@
+"""Edge cases across the stack: empty inputs, degenerate queries, unicode."""
+
+import pytest
+
+from repro.core.dyno import Dyno
+from repro.data.schema import INT, STRING, Schema
+from repro.data.table import Table
+
+
+def tiny_tables(left_rows, right_rows):
+    return {
+        "left": Table("left", Schema.of(k=INT, v=STRING), left_rows),
+        "right": Table("right", Schema.of(k=INT, w=STRING), right_rows),
+    }
+
+
+JOIN_SQL = ("SELECT a.v AS v, b.w AS w FROM left a, right b "
+            "WHERE a.k = b.k")
+
+
+class TestEmptyInputs:
+    def test_join_with_empty_side(self):
+        tables = tiny_tables([{"k": 1, "v": "x"}], [])
+        dyno = Dyno(tables)
+        execution = dyno.execute(JOIN_SQL)
+        assert execution.rows == []
+
+    def test_both_sides_empty(self):
+        dyno = Dyno(tiny_tables([], []))
+        execution = dyno.execute(JOIN_SQL)
+        assert execution.rows == []
+
+    def test_filter_eliminates_everything(self):
+        tables = tiny_tables(
+            [{"k": i, "v": "x"} for i in range(50)],
+            [{"k": i, "w": "y"} for i in range(50)],
+        )
+        dyno = Dyno(tables)
+        execution = dyno.execute(JOIN_SQL + " AND a.v = 'nope'")
+        assert execution.rows == []
+
+    def test_group_by_over_empty_result(self):
+        dyno = Dyno(tiny_tables([], []))
+        execution = dyno.execute(
+            "SELECT a.v AS v, count(*) AS n FROM left a, right b "
+            "WHERE a.k = b.k GROUP BY a.v"
+        )
+        assert execution.rows == []
+
+    def test_pilot_over_empty_table_is_exact_zero(self):
+        dyno = Dyno(tiny_tables([], [{"k": 1, "w": "y"}]))
+        extracted = dyno.prepare(JOIN_SQL)
+        report = dyno.executor.pilot_runner.run(extracted.block)
+        left_leaf = extracted.block.leaf_for("a")
+        stats = report.outcomes[left_leaf.signature()].stats
+        assert stats.row_count == 0
+        assert stats.exact
+
+
+class TestDegenerateShapes:
+    def test_single_row_tables(self):
+        tables = tiny_tables([{"k": 7, "v": "only"}],
+                             [{"k": 7, "w": "match"}])
+        execution = Dyno(tables).execute(JOIN_SQL)
+        assert execution.rows == [{"v": "only", "w": "match"}]
+
+    def test_many_to_many_join(self):
+        tables = tiny_tables(
+            [{"k": 1, "v": f"l{i}"} for i in range(5)],
+            [{"k": 1, "w": f"r{i}"} for i in range(4)],
+        )
+        execution = Dyno(tables).execute(JOIN_SQL)
+        assert len(execution.rows) == 20
+
+    def test_null_join_keys_never_match(self):
+        tables = tiny_tables(
+            [{"k": None, "v": "null"}, {"k": 1, "v": "one"}],
+            [{"k": None, "w": "null"}, {"k": 1, "w": "one"}],
+        )
+        execution = Dyno(tables).execute(JOIN_SQL)
+        assert len(execution.rows) == 1
+
+    def test_local_or_predicate_pushes_and_runs(self):
+        tables = tiny_tables(
+            [{"k": i, "v": ["red", "blue", "green"][i % 3]}
+             for i in range(30)],
+            [{"k": i, "w": "y"} for i in range(30)],
+        )
+        dyno = Dyno(tables)
+        sql = (JOIN_SQL + " AND (a.v = 'red' OR a.v = 'blue')")
+        extracted = dyno.prepare(sql)
+        assert extracted.block.leaf_for("a").predicates  # pushed down
+        execution = dyno.execute(sql)
+        assert all(row["v"] in ("red", "blue") for row in execution.rows)
+        assert len(execution.rows) == 20
+
+    def test_duplicate_rows_preserved(self):
+        tables = tiny_tables(
+            [{"k": 1, "v": "dup"}, {"k": 1, "v": "dup"}],
+            [{"k": 1, "w": "y"}],
+        )
+        execution = Dyno(tables).execute(JOIN_SQL)
+        assert len(execution.rows) == 2
+
+
+class TestUnicode:
+    def test_unicode_values_flow_through(self):
+        tables = tiny_tables(
+            [{"k": 1, "v": "héllo wörld 漢字"}],
+            [{"k": 1, "w": "ünïcode ✓"}],
+        )
+        execution = Dyno(tables).execute(JOIN_SQL)
+        assert execution.rows[0]["v"] == "héllo wörld 漢字"
+
+    def test_unicode_literals_in_sql(self):
+        tables = tiny_tables(
+            [{"k": 1, "v": "日本"}, {"k": 2, "v": "other"}],
+            [{"k": 1, "w": "y"}, {"k": 2, "w": "z"}],
+        )
+        execution = Dyno(tables).execute(
+            JOIN_SQL + " AND a.v = '日本'"
+        )
+        assert len(execution.rows) == 1
+
+    def test_kmv_hash_handles_unicode(self):
+        from repro.stats.kmv import kmv_hash
+
+        assert kmv_hash("héllo") == kmv_hash("héllo")
+        assert kmv_hash("héllo") != kmv_hash("hello")

@@ -1,0 +1,61 @@
+"""Error hierarchy: catchability and diagnostic payloads."""
+
+import pytest
+
+from repro.errors import (
+    BroadcastBuildOverflowError,
+    CoordinationError,
+    DynoError,
+    JobError,
+    OptimizerError,
+    ParseError,
+    PlanError,
+    SchemaError,
+    StatisticsError,
+    StorageError,
+    UnsupportedQueryError,
+)
+
+ALL_ERRORS = [
+    SchemaError, StorageError, JobError, ParseError, PlanError,
+    OptimizerError, UnsupportedQueryError, StatisticsError,
+    CoordinationError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("error_type", ALL_ERRORS)
+    def test_all_derive_from_dyno_error(self, error_type):
+        assert issubclass(error_type, DynoError)
+
+    def test_overflow_is_a_job_error(self):
+        assert issubclass(BroadcastBuildOverflowError, JobError)
+
+    def test_unsupported_query_is_optimizer_error(self):
+        assert issubclass(UnsupportedQueryError, OptimizerError)
+
+
+class TestPayloads:
+    def test_overflow_carries_diagnostics(self):
+        error = BroadcastBuildOverflowError(
+            2048, 1024, job_name="j1", build_description="dim=2048B"
+        )
+        assert error.build_bytes == 2048
+        assert error.memory_budget == 1024
+        assert "j1" in str(error)
+        assert "dim=2048B" in str(error)
+        assert "spill" in str(error)
+
+    def test_overflow_without_context(self):
+        error = BroadcastBuildOverflowError(10, 5)
+        assert "10 bytes" in str(error)
+
+    def test_parse_error_position(self):
+        error = ParseError("unexpected token", position=42)
+        assert error.position == 42
+        assert "42" in str(error)
+
+    def test_parse_error_without_position(self):
+        error = ParseError("something broke")
+        assert error.position is None
+        assert "something broke" in str(error)

@@ -1,0 +1,31 @@
+"""Smoke tests: every example script runs end to end."""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    yield
+    sys.path.remove(str(EXAMPLES_DIR))
+
+
+@pytest.mark.parametrize("module_name", [
+    "quickstart",
+    "restaurant_reviews",
+    "adaptive_replanning",
+    "hive_backend",
+    "custom_workload",
+    "log_analysis",
+])
+def test_example_runs(module_name, capsys):
+    module = importlib.import_module(module_name)
+    module.main()
+    output = capsys.readouterr().out
+    assert output.strip(), f"{module_name} produced no output"

@@ -1,0 +1,256 @@
+"""Expression AST: references, predicates, aggregates, schema derivation."""
+
+import pytest
+
+from repro.data.schema import INT, STRING, Schema
+from repro.errors import PlanError
+from repro.jaql.expr import (
+    Aggregate,
+    Catalog,
+    ColumnRef,
+    Comparison,
+    Filter,
+    GroupBy,
+    Join,
+    JoinCondition,
+    And,
+    Or,
+    OrderBy,
+    Project,
+    QuerySpec,
+    Scan,
+    UdfPredicate,
+    conjunction,
+    conjuncts,
+    qualify_row,
+    qualify_schema,
+    ref,
+    walk,
+)
+from repro.jaql.functions import Udf
+
+
+def catalog():
+    return Catalog({
+        "t": Schema.of(id=INT, name=STRING),
+        "u": Schema.of(tid=INT, label=STRING),
+    })
+
+
+class TestColumnRef:
+    def test_qualified_name(self):
+        assert ref("a", "x").qualified == "a.x"
+
+    def test_empty_alias_means_bare_column(self):
+        bare = ColumnRef("", "total")
+        assert bare.qualified == "total"
+        assert bare.evaluate({"total": 7}) == 7
+
+    def test_evaluate_nested(self):
+        row = {"a.addr": [{"zip": 1}]}
+        assert ref("a", "addr", 0, "zip").evaluate(row) == 1
+
+    def test_evaluate_missing_is_none(self):
+        assert ref("a", "x").evaluate({}) is None
+        assert ref("a", "x", 0).evaluate({"a.x": "scalar"}) is None
+
+    def test_describe(self):
+        assert ref("a", "addr", 0, "zip").describe() == "a.addr[0].zip"
+
+
+class TestPredicates:
+    def test_comparison_operators(self):
+        row = {"a.x": 5}
+        assert Comparison(ref("a", "x"), "=", 5).evaluate(row)
+        assert Comparison(ref("a", "x"), "!=", 4).evaluate(row)
+        assert Comparison(ref("a", "x"), "<", 6).evaluate(row)
+        assert Comparison(ref("a", "x"), ">=", 5).evaluate(row)
+        assert not Comparison(ref("a", "x"), ">", 5).evaluate(row)
+
+    def test_comparison_with_none_is_false(self):
+        assert not Comparison(ref("a", "x"), "=", None).evaluate({"a.x": 1})
+        assert not Comparison(ref("a", "x"), "<", 5).evaluate({})
+
+    def test_comparison_type_mismatch_is_false(self):
+        assert not Comparison(ref("a", "x"), "<", "text").evaluate({"a.x": 1})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PlanError):
+            Comparison(ref("a", "x"), "~=", 1)
+
+    def test_column_to_column(self):
+        pred = Comparison(ref("a", "x"), "=", ref("b", "y"))
+        assert pred.evaluate({"a.x": 3, "b.y": 3})
+        assert pred.references() == {"a", "b"}
+
+    def test_udf_predicate(self):
+        udf = Udf("is_even", lambda v: v % 2 == 0, cost_seconds=0.5)
+        pred = UdfPredicate(udf, (ref("a", "x"),))
+        assert pred.evaluate({"a.x": 4})
+        assert not pred.evaluate({"a.x": 3})
+        assert pred.is_udf
+        assert pred.cpu_seconds_per_row == 0.5
+        assert pred.references() == {"a"}
+
+    def test_and_or(self):
+        p1 = Comparison(ref("a", "x"), ">", 0)
+        p2 = Comparison(ref("b", "y"), "<", 10)
+        both = And((p1, p2))
+        either = Or((p1, p2))
+        row = {"a.x": 5, "b.y": 20}
+        assert not both.evaluate(row)
+        assert either.evaluate(row)
+        assert both.references() == {"a", "b"}
+
+    def test_conjuncts_flatten(self):
+        p1 = Comparison(ref("a", "x"), ">", 0)
+        p2 = Comparison(ref("a", "y"), ">", 0)
+        p3 = Comparison(ref("a", "z"), ">", 0)
+        nested = And((p1, And((p2, p3))))
+        assert conjuncts(nested) == [p1, p2, p3]
+
+    def test_conjunction_inverse(self):
+        p1 = Comparison(ref("a", "x"), ">", 0)
+        assert conjunction([p1]) is p1
+        combined = conjunction([p1, p1])
+        assert isinstance(combined, And)
+        with pytest.raises(PlanError):
+            conjunction([])
+
+    def test_signatures_stable(self):
+        pred = Comparison(ref("a", "x"), "=", 5)
+        assert pred.signature() == "(a.x = 5)"
+        udf = Udf("f", lambda v: True, version="2")
+        assert UdfPredicate(udf, (ref("a", "x"),)).signature() == \
+            "udf:f@2(a.x)"
+
+
+class TestJoinCondition:
+    def test_aliases_and_side_selection(self):
+        condition = JoinCondition(ref("a", "x"), ref("b", "y"))
+        assert condition.aliases() == {"a", "b"}
+        assert condition.side_for(frozenset(("a",))).alias == "a"
+        assert condition.side_for(frozenset(("b", "c"))).alias == "b"
+        with pytest.raises(PlanError):
+            condition.side_for(frozenset(("z",)))
+
+    def test_same_alias_rejected(self):
+        with pytest.raises(PlanError):
+            JoinCondition(ref("a", "x"), ref("a", "y"))
+
+
+class TestAggregates:
+    def run(self, aggregate, rows):
+        state = aggregate.initial()
+        for row in rows:
+            state = aggregate.step(state, row)
+        return aggregate.final(state)
+
+    def test_count(self):
+        agg = Aggregate("count", None, "c")
+        assert self.run(agg, [{}, {}, {}]) == 3
+
+    def test_sum_min_max(self):
+        rows = [{"a.x": v} for v in (3, 1, 4, None)]
+        assert self.run(Aggregate("sum", ref("a", "x"), "s"), rows) == 8
+        assert self.run(Aggregate("min", ref("a", "x"), "m"), rows) == 1
+        assert self.run(Aggregate("max", ref("a", "x"), "m"), rows) == 4
+
+    def test_avg(self):
+        rows = [{"a.x": v} for v in (2, 4)]
+        assert self.run(Aggregate("avg", ref("a", "x"), "a"), rows) == 3
+        assert self.run(Aggregate("avg", ref("a", "x"), "a"), []) is None
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(PlanError):
+            Aggregate("median", ref("a", "x"), "m")
+
+    def test_non_count_requires_argument(self):
+        with pytest.raises(PlanError):
+            Aggregate("sum", None, "s")
+
+
+class TestExpressions:
+    def test_scan_schema_is_qualified(self):
+        schema = Scan("t", "a").schema(catalog())
+        assert schema.names == ("a.id", "a.name")
+
+    def test_qualify_row(self):
+        assert qualify_row("a", {"id": 1}) == {"a.id": 1}
+
+    def test_qualify_schema(self):
+        schema = qualify_schema("z", Schema.of(id=INT))
+        assert schema.names == ("z.id",)
+
+    def test_join_schema_merges(self):
+        join = Join(
+            Scan("t", "a"), Scan("u", "b"),
+            (JoinCondition(ref("a", "id"), ref("b", "tid")),),
+        )
+        assert join.schema(catalog()).names == (
+            "a.id", "a.name", "b.tid", "b.label"
+        )
+        assert join.aliases() == {"a", "b"}
+
+    def test_join_requires_conditions(self):
+        with pytest.raises(PlanError):
+            Join(Scan("t", "a"), Scan("u", "b"), ())
+
+    def test_join_condition_must_span_inputs(self):
+        with pytest.raises(PlanError):
+            Join(Scan("t", "a"), Scan("u", "b"),
+                 (JoinCondition(ref("a", "id"), ref("c", "x")),))
+
+    def test_filter_preserves_schema(self):
+        scan = Scan("t", "a")
+        filtered = Filter(scan, Comparison(ref("a", "id"), ">", 0))
+        assert filtered.schema(catalog()) == scan.schema(catalog())
+
+    def test_group_by_schema(self):
+        group = GroupBy(
+            Scan("t", "a"), (ref("a", "name"),),
+            (Aggregate("count", None, "cnt"),),
+        )
+        assert group.schema(catalog()).names == ("a.name", "cnt")
+
+    def test_group_by_rejects_nested_keys(self):
+        group = GroupBy(
+            Scan("t", "a"), (ref("a", "name", 0),),
+            (Aggregate("count", None, "cnt"),),
+        )
+        with pytest.raises(PlanError):
+            group.schema(catalog())
+
+    def test_project_rows(self):
+        project = Project(Scan("t", "a"), ((ref("a", "name"), "label"),))
+        assert project.project_row({"a.name": "x"}) == {"label": "x"}
+        assert project.schema(catalog()).names == ("label",)
+
+    def test_order_by_schema_passthrough(self):
+        order = OrderBy(Scan("t", "a"), (ref("a", "id"),), True, 5)
+        assert order.schema(catalog()).names == ("a.id", "a.name")
+
+    def test_walk_preorder(self):
+        join = Join(
+            Scan("t", "a"), Scan("u", "b"),
+            (JoinCondition(ref("a", "id"), ref("b", "tid")),),
+        )
+        kinds = [type(node).__name__ for node in walk(Filter(
+            join, Comparison(ref("a", "id"), ">", 0)
+        ))]
+        assert kinds == ["Filter", "Join", "Scan", "Scan"]
+
+    def test_query_spec_discovers_alias_tables(self):
+        spec = QuerySpec("q", Join(
+            Scan("t", "a"), Scan("u", "b"),
+            (JoinCondition(ref("a", "id"), ref("b", "tid")),),
+        ))
+        assert spec.alias_tables == {"a": "t", "b": "u"}
+
+    def test_describe_renders(self):
+        join = Join(
+            Scan("t", "a"), Scan("u", "b"),
+            (JoinCondition(ref("a", "id"), ref("b", "tid")),),
+        )
+        text = join.describe()
+        assert "join" in text and "scan t AS a" in text

@@ -1,0 +1,112 @@
+"""UDF registry and tunable-selectivity UDFs."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.jaql.functions import (
+    Udf,
+    UdfCallCounter,
+    UdfRegistry,
+    checkid,
+    default_registry,
+    make_pair_udf,
+    make_selective_udf,
+    sentanalysis,
+)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = UdfRegistry()
+        udf = registry.register(Udf("f", lambda v: True))
+        assert registry.get("f") is udf
+        assert "f" in registry
+        assert registry.names() == ["f"]
+
+    def test_duplicate_rejected_unless_replace(self):
+        registry = UdfRegistry()
+        registry.register(Udf("f", lambda v: True))
+        with pytest.raises(PlanError):
+            registry.register(Udf("f", lambda v: False))
+        registry.register(Udf("f", lambda v: False), replace=True)
+        assert not registry.get("f")(1)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(PlanError):
+            UdfRegistry().get("ghost")
+
+    def test_default_registry_has_paper_udfs(self):
+        registry = default_registry()
+        assert "sentanalysis" in registry
+        assert "checkid" in registry
+
+
+class TestPaperUdfs:
+    def test_sentanalysis(self):
+        assert sentanalysis("the food was amazing")
+        assert not sentanalysis("the food was bland")
+        assert not sentanalysis(None)
+        assert not sentanalysis(42)
+
+    def test_checkid(self):
+        assert checkid(True, 4)
+        assert not checkid(False, 4)
+        assert not checkid(True, 1)
+        assert not checkid(True, None)
+
+
+class TestSelectiveUdfs:
+    def test_selectivity_converges(self):
+        udf = make_selective_udf("sel20", 0.2)
+        hits = sum(1 for value in range(20000) if udf(value))
+        assert hits / 20000 == pytest.approx(0.2, abs=0.02)
+
+    def test_deterministic(self):
+        first = make_selective_udf("d", 0.5)
+        second = make_selective_udf("d", 0.5)
+        assert [first(v) for v in range(100)] == \
+            [second(v) for v in range(100)]
+
+    def test_extremes(self):
+        never = make_selective_udf("never", 0.0)
+        always = make_selective_udf("always", 1.0)
+        assert not any(never(v) for v in range(200))
+        assert all(always(v) for v in range(200))
+
+    def test_salt_decorrelates(self):
+        left = make_selective_udf("x", 0.5, salt="a")
+        right = make_selective_udf("x", 0.5, salt="b")
+        agreements = sum(1 for v in range(5000) if left(v) == right(v))
+        assert agreements / 5000 == pytest.approx(0.5, abs=0.05)
+
+    def test_version_encodes_parameters(self):
+        udf = make_selective_udf("v", 0.25, salt="s1")
+        assert "0.25" in udf.version and "s1" in udf.version
+
+    def test_invalid_selectivity_rejected(self):
+        with pytest.raises(PlanError):
+            make_selective_udf("bad", 1.5)
+        with pytest.raises(PlanError):
+            make_pair_udf("bad", -0.1)
+
+    def test_pair_udf_uses_both_arguments(self):
+        udf = make_pair_udf("pair", 0.5)
+        outcomes = {udf(a, b) for a in range(20) for b in range(20)}
+        assert outcomes == {True, False}
+        # Flipping one argument changes the outcome for some pairs.
+        flips = sum(1 for v in range(1000) if udf(v, 0) != udf(v, 1))
+        assert flips > 100
+
+
+class TestCallCounter:
+    def test_counts_calls_and_acceptance(self):
+        counter = UdfCallCounter(make_selective_udf("c", 0.3))
+        wrapped = counter.wrapped()
+        for value in range(1000):
+            wrapped(value)
+        assert counter.calls == 1000
+        assert counter.observed_selectivity == pytest.approx(0.3, abs=0.06)
+
+    def test_wrapped_is_cached(self):
+        counter = UdfCallCounter(make_selective_udf("c2", 0.5))
+        assert counter.wrapped() is counter.wrapped()

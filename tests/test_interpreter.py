@@ -1,0 +1,150 @@
+"""Reference interpreter vs brute-force semantics."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.schema import INT, STRING, Schema
+from repro.data.table import Table
+from repro.errors import PlanError
+from repro.jaql.expr import (
+    Aggregate,
+    Comparison,
+    Filter,
+    GroupBy,
+    Join,
+    JoinCondition,
+    OrderBy,
+    Project,
+    QuerySpec,
+    Scan,
+    ref,
+)
+from repro.jaql.interpreter import Interpreter, order_key
+
+
+def make_tables(seed=0, left_rows=40, right_rows=60):
+    rng = random.Random(seed)
+    left = Table("l", Schema.of(k=INT, v=STRING), [
+        {"k": rng.randrange(10), "v": rng.choice("abc")}
+        for _ in range(left_rows)
+    ])
+    right = Table("r", Schema.of(k=INT, w=INT), [
+        {"k": rng.randrange(10), "w": rng.randrange(100)}
+        for _ in range(right_rows)
+    ])
+    return {"l": left, "r": right}
+
+
+def join_tree():
+    return Join(Scan("l", "a"), Scan("r", "b"),
+                (JoinCondition(ref("a", "k"), ref("b", "k")),))
+
+
+class TestScanFilter:
+    def test_scan_qualifies(self):
+        tables = make_tables()
+        rows = Interpreter(tables).evaluate(Scan("l", "x"))
+        assert all(set(row) == {"x.k", "x.v"} for row in rows)
+
+    def test_unknown_table(self):
+        with pytest.raises(PlanError):
+            Interpreter({}).evaluate(Scan("ghost", "g"))
+
+    def test_filter(self):
+        tables = make_tables()
+        rows = Interpreter(tables).evaluate(
+            Filter(Scan("l", "a"), Comparison(ref("a", "k"), "=", 3))
+        )
+        assert all(row["a.k"] == 3 for row in rows)
+
+
+class TestJoin:
+    @given(st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_nested_loop(self, seed):
+        tables = make_tables(seed)
+        fast = Interpreter(tables).evaluate(join_tree())
+        slow = []
+        for lrow in tables["l"].rows:
+            for rrow in tables["r"].rows:
+                if lrow["k"] == rrow["k"]:
+                    slow.append({"a.k": lrow["k"], "a.v": lrow["v"],
+                                 "b.k": rrow["k"], "b.w": rrow["w"]})
+
+        def canon(rows):
+            return sorted(tuple(sorted(r.items())) for r in rows)
+
+        assert canon(fast) == canon(slow)
+
+    def test_none_keys_never_match(self):
+        tables = {
+            "l": Table("l", Schema.of(k=INT), [{"k": None}, {"k": 1}]),
+            "r": Table("r", Schema.of(k=INT), [{"k": None}, {"k": 1}]),
+        }
+        rows = Interpreter(tables).evaluate(
+            Join(Scan("l", "a"), Scan("r", "b"),
+                 (JoinCondition(ref("a", "k"), ref("b", "k")),))
+        )
+        assert len(rows) == 1
+
+    def test_multi_condition_join(self):
+        tables = make_tables()
+        tree = Join(Scan("l", "a"), Scan("l", "b"),
+                    (JoinCondition(ref("a", "k"), ref("b", "k")),
+                     JoinCondition(ref("a", "v"), ref("b", "v"))))
+        rows = Interpreter(tables).evaluate(tree)
+        assert all(row["a.k"] == row["b.k"] and row["a.v"] == row["b.v"]
+                   for row in rows)
+
+
+class TestGroupOrder:
+    def test_group_by_counts(self):
+        tables = make_tables()
+        tree = GroupBy(Scan("l", "a"), (ref("a", "v"),),
+                       (Aggregate("count", None, "n"),))
+        rows = Interpreter(tables).evaluate(tree)
+        assert sum(row["n"] for row in rows) == len(tables["l"])
+
+    def test_group_all(self):
+        tables = make_tables()
+        tree = GroupBy(Scan("l", "a"), (),
+                       (Aggregate("sum", ref("a", "k"), "total"),))
+        rows = Interpreter(tables).evaluate(tree)
+        assert len(rows) == 1
+        assert rows[0]["total"] == sum(r["k"] for r in tables["l"].rows)
+
+    def test_order_by_limit(self):
+        tables = make_tables()
+        tree = OrderBy(Scan("r", "b"), (ref("b", "w"),), descending=True,
+                       limit=5)
+        rows = Interpreter(tables).evaluate(tree)
+        assert len(rows) == 5
+        values = [row["b.w"] for row in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_project(self):
+        tables = make_tables()
+        tree = Project(Scan("l", "a"), ((ref("a", "v"), "val"),))
+        rows = Interpreter(tables).evaluate(tree)
+        assert all(set(row) == {"val"} for row in rows)
+
+    def test_run_uses_spec_root(self):
+        tables = make_tables()
+        spec = QuerySpec("q", Scan("l", "a"))
+        assert len(Interpreter(tables).run(spec)) == len(tables["l"])
+
+
+class TestOrderKey:
+    def test_type_ranking(self):
+        values = ["text", 5, None, True, [1, 2]]
+        ranked = sorted(values, key=order_key)
+        assert ranked[0] is None
+        assert ranked[1] is True
+        assert ranked[2] == 5
+
+    def test_mixed_sort_is_total(self):
+        values = [3, "a", None, 2.5, (1,), {"k": 1}, False]
+        sorted(values, key=order_key)  # must not raise

@@ -1,0 +1,113 @@
+"""Join graph structure and validation."""
+
+import pytest
+
+from repro.errors import UnsupportedQueryError
+from repro.jaql.blocks import SOURCE_INTERMEDIATE, SOURCE_TABLE, BlockLeaf, JoinBlock
+from repro.jaql.expr import JoinCondition, ref
+from repro.optimizer.joingraph import JoinGraph
+
+
+def leaf(alias, table="t"):
+    return BlockLeaf(frozenset((alias,)), SOURCE_TABLE, table)
+
+
+def chain_block(n=4):
+    """a - b - c - d ... linear chain."""
+    leaves = tuple(leaf(chr(ord("a") + i)) for i in range(n))
+    conditions = tuple(
+        JoinCondition(ref(chr(ord("a") + i), "k"),
+                      ref(chr(ord("a") + i + 1), "k"))
+        for i in range(n - 1)
+    )
+    return JoinBlock("chain", leaves, conditions)
+
+
+def star_block(points=4):
+    """hub h joined to p0..pN."""
+    leaves = (leaf("h"),) + tuple(leaf(f"p{i}") for i in range(points))
+    conditions = tuple(
+        JoinCondition(ref("h", f"k{i}"), ref(f"p{i}", "k"))
+        for i in range(points)
+    )
+    return JoinBlock("star", leaves, conditions)
+
+
+def cyclic_block():
+    leaves = (leaf("a"), leaf("b"), leaf("c"))
+    conditions = (
+        JoinCondition(ref("a", "k"), ref("b", "k")),
+        JoinCondition(ref("b", "j"), ref("c", "j")),
+        JoinCondition(ref("c", "i"), ref("a", "i")),
+    )
+    return JoinBlock("cycle", leaves, conditions)
+
+
+class TestStructure:
+    def test_chain_adjacency(self):
+        graph = JoinGraph.build(chain_block(4))
+        assert graph.adjacency[0] == {1}
+        assert graph.adjacency[1] == {0, 2}
+        assert graph.size == 4
+
+    def test_star_adjacency(self):
+        graph = JoinGraph.build(star_block(3))
+        assert graph.adjacency[0] == {1, 2, 3}
+
+    def test_connectivity(self):
+        graph = JoinGraph.build(chain_block(4))
+        assert graph.is_connected(frozenset((0, 1, 2)))
+        assert not graph.is_connected(frozenset((0, 2)))
+        assert graph.is_connected(frozenset((1,)))
+        assert not graph.is_connected(frozenset())
+
+    def test_edges_between(self):
+        graph = JoinGraph.build(chain_block(4))
+        assert graph.edges_between(frozenset((0, 1)), frozenset((2, 3)))
+        assert not graph.edges_between(frozenset((0,)), frozenset((2, 3)))
+
+    def test_neighbors_of_set(self):
+        graph = JoinGraph.build(chain_block(4))
+        assert graph.neighbors_of_set(frozenset((1, 2))) == {0, 3}
+
+    def test_aliases_of(self):
+        graph = JoinGraph.build(chain_block(3))
+        assert graph.aliases_of(frozenset((0, 2))) == {"a", "c"}
+
+    def test_intermediate_leaf_internal_condition_ignored(self):
+        merged = BlockLeaf(frozenset(("a", "b")), SOURCE_INTERMEDIATE, "f")
+        other = leaf("c")
+        block = JoinBlock("b", (merged, other), (
+            JoinCondition(ref("a", "k"), ref("b", "k")),  # internal
+            JoinCondition(ref("b", "j"), ref("c", "j")),
+        ))
+        graph = JoinGraph.build(block)
+        assert graph.adjacency[0] == {1}
+
+
+class TestValidation:
+    def test_valid_tree_passes(self):
+        JoinGraph.build(chain_block(5)).validate()
+        JoinGraph.build(star_block(5)).validate()
+
+    def test_cycle_rejected_like_q5(self):
+        with pytest.raises(UnsupportedQueryError):
+            JoinGraph.build(cyclic_block()).validate()
+
+    def test_disconnected_rejected(self):
+        block = JoinBlock("d", (leaf("a"), leaf("b"), leaf("c")), (
+            JoinCondition(ref("a", "k"), ref("b", "k")),
+        ))
+        with pytest.raises(UnsupportedQueryError):
+            JoinGraph.build(block).validate()
+
+    def test_single_leaf_valid(self):
+        JoinGraph.build(JoinBlock("s", (leaf("a"),), ())).validate()
+
+    def test_parallel_conditions_are_not_a_cycle(self):
+        # Two conditions between the same pair (composite key) are one edge.
+        block = JoinBlock("p", (leaf("a"), leaf("b")), (
+            JoinCondition(ref("a", "k1"), ref("b", "k1")),
+            JoinCondition(ref("a", "k2"), ref("b", "k2")),
+        ))
+        JoinGraph.build(block).validate()

@@ -1,0 +1,140 @@
+"""KMV synopsis: hashing, estimation accuracy, mergeability."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StatisticsError
+from repro.stats.kmv import HASH_DOMAIN, KMVSynopsis, kmv_hash
+
+
+class TestHash:
+    def test_stable_across_calls(self):
+        assert kmv_hash("abc") == kmv_hash("abc")
+        assert kmv_hash(("a", 1)) == kmv_hash(("a", 1))
+
+    def test_distinct_inputs_differ(self):
+        values = ["a", "b", 1, 2, 1.5, ("a",), ["a"], {"a": 1}, None, True]
+        hashes = {kmv_hash(v) for v in values}
+        # lists and tuples canonicalize identically; everything else differs
+        assert len(hashes) >= len(values) - 1
+
+    def test_int_float_coincide_on_integral_values(self):
+        assert kmv_hash(3) == kmv_hash(3.0)
+        assert kmv_hash(3) != kmv_hash(3.5)
+
+    def test_in_domain(self):
+        for value in ("x", 123, (1, 2), {"k": "v"}):
+            assert 0 <= kmv_hash(value) <= HASH_DOMAIN
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(StatisticsError):
+            kmv_hash(object())
+
+
+class TestSynopsis:
+    def test_requires_k_at_least_two(self):
+        with pytest.raises(StatisticsError):
+            KMVSynopsis(1)
+
+    def test_exact_below_saturation(self):
+        synopsis = KMVSynopsis(64)
+        for value in range(40):
+            synopsis.add(value)
+            synopsis.add(value)  # duplicates ignored
+        assert not synopsis.is_saturated
+        assert synopsis.estimate() == 40.0
+
+    def test_none_ignored(self):
+        synopsis = KMVSynopsis(8)
+        synopsis.add(None)
+        assert synopsis.estimate() == 0.0
+
+    def test_empty_estimate_zero(self):
+        assert KMVSynopsis(8).estimate() == 0.0
+
+    def test_estimation_accuracy_at_saturation(self):
+        synopsis = KMVSynopsis(256)
+        true_count = 20000
+        synopsis.add_all(range(true_count))
+        assert synopsis.is_saturated
+        estimate = synopsis.estimate()
+        # k=256 gives ~12% stddev; allow a generous band.
+        assert 0.7 * true_count <= estimate <= 1.3 * true_count
+
+    def test_paper_error_bound_k1024(self):
+        """k=1024 -> roughly 6% error bound (paper Section 4.3)."""
+        synopsis = KMVSynopsis(1024)
+        true_count = 50000
+        synopsis.add_all(f"value-{i}" for i in range(true_count))
+        estimate = synopsis.estimate()
+        assert abs(estimate - true_count) / true_count < 0.15
+
+    def test_snapshot_sorted(self):
+        synopsis = KMVSynopsis(8)
+        synopsis.add_all(range(20))
+        snapshot = synopsis.snapshot()
+        assert snapshot == sorted(snapshot)
+        assert len(snapshot) == 8
+
+
+class TestMerge:
+    def test_merge_equals_union(self):
+        left = KMVSynopsis(128)
+        right = KMVSynopsis(128)
+        union = KMVSynopsis(128)
+        left.add_all(range(0, 500))
+        right.add_all(range(250, 750))
+        union.add_all(range(0, 750))
+        merged = left.merge(right)
+        assert merged.snapshot() == union.snapshot()
+        assert merged.estimate() == pytest.approx(union.estimate())
+
+    def test_merge_keeps_smaller_k(self):
+        left = KMVSynopsis(16)
+        right = KMVSynopsis(64)
+        assert left.merge(right).k == 16
+
+    @given(st.lists(st.integers(0, 10000), max_size=300),
+           st.lists(st.integers(0, 10000), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_commutative(self, left_values, right_values):
+        a, b = KMVSynopsis(32), KMVSynopsis(32)
+        a.add_all(left_values)
+        b.add_all(right_values)
+        assert a.merge(b).snapshot() == b.merge(a).snapshot()
+
+    @given(st.lists(st.integers(0, 10000), max_size=200),
+           st.lists(st.integers(0, 10000), max_size=200),
+           st.lists(st.integers(0, 10000), max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_merge_associative(self, xs, ys, zs):
+        def synopsis(values):
+            s = KMVSynopsis(32)
+            s.add_all(values)
+            return s
+
+        left = synopsis(xs).merge(synopsis(ys)).merge(synopsis(zs))
+        right = synopsis(xs).merge(synopsis(ys).merge(synopsis(zs)))
+        assert left.snapshot() == right.snapshot()
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=500),
+           st.integers(1, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_partitioned_merge_equals_whole(self, values, parts):
+        whole = KMVSynopsis(64)
+        whole.add_all(values)
+        merged = KMVSynopsis(64)
+        for offset in range(parts):
+            partial = KMVSynopsis(64)
+            partial.add_all(values[offset::parts])
+            merged = merged.merge(partial)
+        assert merged.snapshot() == whole.snapshot()
+
+    @given(st.lists(st.integers(), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_estimate_never_below_exact_when_unsaturated(self, values):
+        synopsis = KMVSynopsis(1024)
+        synopsis.add_all(values)
+        if not synopsis.is_saturated:
+            assert synopsis.estimate() == len(set(values))

@@ -1,0 +1,83 @@
+"""Statistics metastore: signature store and persistence."""
+
+import pytest
+
+from repro.errors import StatisticsError
+from repro.stats.metastore import StatisticsMetastore
+from repro.stats.statistics import ColumnStats, TableStats
+
+
+def sample_stats():
+    return TableStats(100.0, 5000.0, {
+        "a.x": ColumnStats("a.x", 10.0, 1, 99, 0.05),
+    }, exact=True)
+
+
+class TestStore:
+    def test_put_get(self):
+        store = StatisticsMetastore()
+        store.put("sig", sample_stats())
+        assert "sig" in store
+        assert store.get("sig").row_count == 100.0
+        assert store.get("missing") is None
+
+    def test_len_and_iter(self):
+        store = StatisticsMetastore()
+        store.put("b", sample_stats())
+        store.put("a", sample_stats())
+        assert len(store) == 2
+        assert list(store) == ["a", "b"]
+
+    def test_empty_signature_rejected(self):
+        with pytest.raises(StatisticsError):
+            StatisticsMetastore().put("", sample_stats())
+
+    def test_overwrite_updates(self):
+        store = StatisticsMetastore()
+        store.put("sig", sample_stats())
+        store.put("sig", TableStats(1.0, 1.0))
+        assert store.get("sig").row_count == 1.0
+
+    def test_invalidate(self):
+        store = StatisticsMetastore()
+        store.put("sig", sample_stats())
+        store.invalidate("sig")
+        assert "sig" not in store
+        store.invalidate("sig")  # idempotent
+
+    def test_clear(self):
+        store = StatisticsMetastore()
+        store.put("sig", sample_stats())
+        store.clear()
+        assert len(store) == 0
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        store = StatisticsMetastore()
+        store.put("table:orders|", sample_stats())
+        store.put("intermediate:x", TableStats(7.0, 70.0))
+        path = tmp_path / "stats.json"
+        store.save(path)
+        restored = StatisticsMetastore.load(path)
+        assert len(restored) == 2
+        entry = restored.get("table:orders|")
+        assert entry.exact
+        assert entry.column("a.x").min_value == 1
+        assert entry.column("a.x").null_fraction == pytest.approx(0.05)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(StatisticsError):
+            StatisticsMetastore.load(tmp_path / "ghost.json")
+
+    def test_load_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json at all {")
+        with pytest.raises(StatisticsError):
+            StatisticsMetastore.load(path)
+
+    def test_load_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(StatisticsError):
+            StatisticsMetastore.load(path)

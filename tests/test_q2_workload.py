@@ -1,0 +1,74 @@
+"""Q2's two-block pipeline in depth (the multi-block machinery)."""
+
+import pytest
+
+from repro.workloads.queries import q2
+
+
+class TestInnerBlock:
+    def test_inner_finds_minimum_costs(self, dyno_factory, tpch_tables):
+        workload = q2()
+        dyno = dyno_factory(udfs=workload.udfs)
+        inner_spec, _ = workload.stages[0]
+        execution = dyno.execute(inner_spec, name="inner")
+
+        # Oracle: minimum European supply cost per part.
+        europe_nations = {
+            row["n_nationkey"] for row in tpch_tables["nation"].rows
+            if any(region["r_regionkey"] == row["n_regionkey"]
+                   and region["r_name"] == "EUROPE"
+                   for region in tpch_tables["region"].rows)
+        }
+        europe_suppliers = {
+            row["s_suppkey"] for row in tpch_tables["supplier"].rows
+            if row["s_nationkey"] in europe_nations
+        }
+        minima: dict[int, float] = {}
+        for row in tpch_tables["partsupp"].rows:
+            if row["ps_suppkey"] in europe_suppliers:
+                cost = row["ps_supplycost"]
+                key = row["ps_partkey"]
+                if key not in minima or cost < minima[key]:
+                    minima[key] = cost
+
+        produced = {row["partkey"]: row["min_cost"]
+                    for row in execution.rows}
+        assert produced == pytest.approx(minima)
+
+    def test_outer_respects_minimum(self, dyno_factory, tpch_tables):
+        workload = q2()
+        dyno = dyno_factory(udfs=workload.udfs)
+        execution = dyno.execute_multi(workload.stages)
+        # Every reported supplier offers the minimum European cost for its
+        # part -- the defining property of Q2.
+        inner_spec, inner_name = workload.stages[0]
+        inner = dyno.execute(inner_spec, name="check")
+        minima = {row["partkey"]: row["min_cost"] for row in inner.rows}
+        pairs = {
+            (row["ps_partkey"], row["ps_suppkey"]):
+                row["ps_supplycost"]
+            for row in tpch_tables["partsupp"].rows
+        }
+        supplier_keys = {
+            row["s_name"]: row["s_suppkey"]
+            for row in tpch_tables["supplier"].rows
+        }
+        for row in execution.rows:
+            supplied = pairs[(row["partkey"],
+                              supplier_keys[row["sname"]])]
+            assert supplied == pytest.approx(minima[row["partkey"]])
+
+    def test_outer_order_and_limit(self, dyno_factory):
+        workload = q2()
+        dyno = dyno_factory(udfs=workload.udfs)
+        execution = dyno.execute_multi(workload.stages)
+        balances = [row["acctbal"] for row in execution.rows]
+        assert balances == sorted(balances, reverse=True)
+        assert len(execution.rows) <= 100
+
+    def test_intermediate_registered_as_table(self, dyno_factory):
+        workload = q2()
+        dyno = dyno_factory(udfs=workload.udfs)
+        dyno.execute_multi(workload.stages)
+        assert "q2mincost" in dyno.tables
+        assert dyno.dfs.exists("q2mincost")

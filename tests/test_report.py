@@ -1,0 +1,54 @@
+"""Experiment report generator."""
+
+import pytest
+
+from repro.bench.harness import ExperimentTable
+from repro.bench.report import (
+    EXPERIMENT_SEQUENCE,
+    _as_markdown_table,
+    _config_fingerprint,
+    generate_report,
+)
+from repro.config import DEFAULT_CONFIG
+
+
+class TestRendering:
+    def test_markdown_table(self):
+        table = ExperimentTable("T", "demo", ["A", "B"],
+                                [["x", 1.5], ["y", 2]],
+                                notes=["hello"])
+        text = _as_markdown_table(table)
+        assert "### T: demo" in text
+        assert "| A | B |" in text
+        assert "| x | 1.50 |" in text
+        assert "> hello" in text
+
+    def test_config_fingerprint_lists_sections(self):
+        text = _config_fingerprint(DEFAULT_CONFIG)
+        for needle in ("[cluster]", "[optimizer]", "[pilot]",
+                       "job_startup_seconds", "backend = jaql"):
+            assert needle in text
+
+    def test_sequence_covers_every_paper_artifact(self):
+        titles = {title for title, _, _ in EXPERIMENT_SEQUENCE}
+        assert "Table 1" in titles
+        for figure in range(2, 9):
+            assert any(t.startswith(f"Figure {figure}") for t in titles)
+
+
+class TestGenerate:
+    def test_single_experiment_report(self):
+        report = generate_report(only={"Table 1"})
+        assert report.startswith("# DYNO reproduction")
+        assert "Relative execution time of PILR" in report
+        # The others were skipped.
+        assert "UDF selectivity" not in report
+
+    def test_markdown_writes_to_disk(self, tmp_path):
+        from repro.bench.report import main
+
+        output = tmp_path / "report.md"
+        code = main(["--output", str(output), "--only", "Table 1"])
+        assert code == 0
+        assert output.exists()
+        assert "# DYNO reproduction" in output.read_text()

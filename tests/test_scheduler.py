@@ -1,0 +1,213 @@
+"""Slot scheduler: waves, FIFO sharing, dependencies, makespan bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.scheduler import ScheduledJob, SlotScheduler
+from repro.errors import JobError
+
+
+def schedule(jobs, map_slots=4, reduce_slots=2):
+    return SlotScheduler(map_slots, reduce_slots).schedule(jobs)
+
+
+class TestSingleJob:
+    def test_map_only_single_wave(self):
+        result = schedule([
+            ScheduledJob("j", [10.0] * 4, startup_seconds=5.0)
+        ])
+        assert result.makespan == pytest.approx(15.0)
+
+    def test_map_only_two_waves(self):
+        result = schedule([
+            ScheduledJob("j", [10.0] * 8, startup_seconds=5.0)
+        ])
+        assert result.makespan == pytest.approx(25.0)
+
+    def test_reduce_starts_after_all_maps(self):
+        result = schedule([
+            ScheduledJob("j", [10.0, 20.0], [7.0], startup_seconds=0.0)
+        ])
+        # maps finish at 20, reduce runs 7 -> 27
+        assert result.makespan == pytest.approx(27.0)
+        timeline = result.timelines["j"]
+        assert timeline.map_finish_time == pytest.approx(20.0)
+        assert timeline.finish_time == pytest.approx(27.0)
+
+    def test_job_with_no_tasks_finishes_at_startup(self):
+        result = schedule([ScheduledJob("j", [], startup_seconds=3.0)])
+        assert result.makespan == pytest.approx(3.0)
+
+    def test_elapsed_includes_startup(self):
+        result = schedule([
+            ScheduledJob("j", [1.0], startup_seconds=15.0)
+        ])
+        assert result.timelines["j"].elapsed == pytest.approx(16.0)
+
+
+class TestBatch:
+    def test_parallel_jobs_share_slots(self):
+        # Two jobs of 4 tasks each on 4 slots: FIFO means job a's wave runs
+        # first, then job b's.
+        result = schedule([
+            ScheduledJob("a", [10.0] * 4),
+            ScheduledJob("b", [10.0] * 4),
+        ])
+        assert result.makespan == pytest.approx(20.0)
+        assert result.timelines["a"].finish_time <= \
+            result.timelines["b"].finish_time
+
+    def test_independent_jobs_overlap(self):
+        result = schedule([
+            ScheduledJob("a", [10.0] * 2),
+            ScheduledJob("b", [10.0] * 2),
+        ])
+        # 4 tasks over 4 slots: one wave.
+        assert result.makespan == pytest.approx(10.0)
+
+    def test_dependency_serializes(self):
+        result = schedule([
+            ScheduledJob("a", [10.0]),
+            ScheduledJob("b", [10.0], depends_on=["a"]),
+        ])
+        assert result.makespan == pytest.approx(20.0)
+        assert (result.timelines["b"].ready_time
+                == result.timelines["a"].finish_time)
+
+    def test_dependent_startup_after_dependency(self):
+        result = schedule([
+            ScheduledJob("a", [10.0], startup_seconds=5.0),
+            ScheduledJob("b", [10.0], startup_seconds=5.0,
+                         depends_on=["a"]),
+        ])
+        assert result.makespan == pytest.approx(30.0)
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(JobError):
+            schedule([ScheduledJob("a", [1.0], depends_on=["ghost"])])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(JobError):
+            schedule([
+                ScheduledJob("a", [1.0], depends_on=["b"]),
+                ScheduledJob("b", [1.0], depends_on=["a"]),
+            ])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(JobError):
+            schedule([ScheduledJob("a", [1.0]), ScheduledJob("a", [1.0])])
+
+    def test_empty_batch(self):
+        assert schedule([]).makespan == 0.0
+
+    def test_bad_slot_counts_rejected(self):
+        with pytest.raises(JobError):
+            SlotScheduler(0, 1)
+
+    def test_reduce_slots_limit_parallelism(self):
+        result = schedule(
+            [ScheduledJob("j", [1.0], [10.0] * 4)],
+            map_slots=4, reduce_slots=2,
+        )
+        # 4 reduces over 2 slots: two waves of 10s after 1s of map.
+        assert result.makespan == pytest.approx(21.0)
+
+
+@st.composite
+def job_batches(draw):
+    count = draw(st.integers(1, 5))
+    jobs = []
+    for index in range(count):
+        maps = draw(st.lists(st.floats(0.1, 10.0), min_size=1, max_size=6))
+        reduces = draw(st.lists(st.floats(0.1, 10.0), max_size=3))
+        deps = []
+        if index and draw(st.booleans()):
+            deps = [f"j{draw(st.integers(0, index - 1))}"]
+        jobs.append(ScheduledJob(f"j{index}", maps, reduces,
+                                 startup_seconds=draw(st.floats(0, 5)),
+                                 depends_on=deps))
+    return jobs
+
+
+class TestMakespanProperties:
+    @given(job_batches(), st.integers(1, 8), st.integers(1, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, jobs, map_slots, reduce_slots):
+        result = SlotScheduler(map_slots, reduce_slots).schedule(jobs)
+        total_work = sum(
+            sum(job.map_durations) + sum(job.reduce_durations)
+            + job.startup_seconds
+            for job in jobs
+        )
+        # Serial upper bound: everything back to back.
+        assert result.makespan <= total_work + 1e-6
+        # Lower bound: the longest single job's critical path.
+        for job in jobs:
+            critical = (job.startup_seconds
+                        + (max(job.map_durations) if job.map_durations else 0)
+                        + (max(job.reduce_durations)
+                           if job.reduce_durations else 0))
+            assert result.timelines[job.job_id].finish_time >= critical - 1e-6
+
+    @given(job_batches())
+    @settings(max_examples=40, deadline=None)
+    def test_more_slots_never_slower(self, jobs):
+        small = SlotScheduler(2, 2).schedule(jobs).makespan
+        large = SlotScheduler(16, 16).schedule(jobs).makespan
+        assert large <= small + 1e-6
+
+    @given(job_batches())
+    @settings(max_examples=40, deadline=None)
+    def test_dependencies_respected(self, jobs):
+        result = SlotScheduler(4, 4).schedule(jobs)
+        for job in jobs:
+            for dep in job.depends_on:
+                assert (result.timelines[job.job_id].ready_time
+                        >= result.timelines[dep].finish_time - 1e-6)
+
+
+class TestFairPolicy:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(JobError):
+            SlotScheduler(2, 2, policy="lottery")
+
+    def test_fair_interleaves_jobs(self):
+        jobs = [
+            ScheduledJob("a", [10.0] * 4),
+            ScheduledJob("b", [10.0] * 4),
+        ]
+        fifo = SlotScheduler(4, 2, policy="fifo").schedule(jobs)
+        fair = SlotScheduler(4, 2, policy="fair").schedule(jobs)
+        # FIFO: a's wave first (a finishes at 10, b at 20). Fair: both get
+        # 2 slots per wave and finish together at 20.
+        assert fifo.timelines["a"].finish_time == pytest.approx(10.0)
+        assert fair.timelines["a"].finish_time == pytest.approx(20.0)
+        assert fair.timelines["b"].finish_time == pytest.approx(20.0)
+
+    def test_fair_same_makespan_when_saturated(self):
+        jobs = [
+            ScheduledJob("a", [5.0] * 6),
+            ScheduledJob("b", [5.0] * 6),
+        ]
+        fifo = SlotScheduler(3, 1, policy="fifo").schedule(jobs).makespan
+        fair = SlotScheduler(3, 1, policy="fair").schedule(jobs).makespan
+        assert fifo == pytest.approx(fair)
+
+    @given(job_batches())
+    @settings(max_examples=30, deadline=None)
+    def test_fair_respects_dependencies_too(self, jobs):
+        result = SlotScheduler(4, 4, policy="fair").schedule(jobs)
+        for job in jobs:
+            for dep in job.depends_on:
+                assert (result.timelines[job.job_id].ready_time
+                        >= result.timelines[dep].finish_time - 1e-6)
+
+    def test_runtime_honours_config_policy(self):
+        from repro.cluster.runtime import ClusterRuntime
+        from repro.config import ClusterConfig, DynoConfig
+        from repro.storage.dfs import DistributedFileSystem
+
+        config = DynoConfig(cluster=ClusterConfig(scheduler_policy="fair"))
+        runtime = ClusterRuntime(DistributedFileSystem(1024), config)
+        assert runtime.scheduler.policy == "fair"

@@ -1,0 +1,206 @@
+"""Schema layer: field types, nested paths, size estimation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.schema import (
+    BOOL,
+    FLOAT,
+    INT,
+    STRING,
+    FieldType,
+    Path,
+    Schema,
+    estimate_value_size,
+)
+from repro.errors import SchemaError
+
+
+class TestFieldType:
+    def test_atomic_validation(self):
+        assert INT.validate(3)
+        assert not INT.validate(3.5)
+        assert not INT.validate(True)  # bools are not ints here
+        assert FLOAT.validate(3)
+        assert FLOAT.validate(3.5)
+        assert STRING.validate("x")
+        assert not STRING.validate(3)
+        assert BOOL.validate(True)
+        assert not BOOL.validate(1)
+
+    def test_none_is_always_valid(self):
+        for ftype in (INT, FLOAT, STRING, BOOL):
+            assert ftype.validate(None)
+
+    def test_array_type(self):
+        arr = FieldType.array(INT)
+        assert arr.validate([1, 2, 3])
+        assert arr.validate([])
+        assert not arr.validate([1, "x"])
+        assert not arr.validate("not a list")
+
+    def test_struct_type(self):
+        struct = FieldType.struct(zip=INT, state=STRING)
+        assert struct.validate({"zip": 94301, "state": "CA"})
+        assert struct.validate({"zip": 94301})  # missing member ok
+        assert not struct.validate({"zip": "94301"})
+        assert not struct.validate({"unknown": 1})
+
+    def test_nested_array_of_struct(self):
+        addr = FieldType.array(FieldType.struct(zip=INT, state=STRING))
+        assert addr.validate([{"zip": 1, "state": "CA"}, {"zip": 2}])
+        assert not addr.validate([{"zip": "bad"}])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError):
+            FieldType("blob")
+
+    def test_array_requires_element(self):
+        with pytest.raises(SchemaError):
+            FieldType("array")
+
+    def test_struct_requires_fields(self):
+        with pytest.raises(SchemaError):
+            FieldType("struct")
+
+    def test_describe_round_trip_shape(self):
+        addr = FieldType.array(FieldType.struct(zip=INT))
+        assert addr.describe() == "array<struct{zip: int}>"
+
+    def test_estimated_size_string_is_length(self):
+        assert STRING.estimated_size("hello") == 5
+        assert STRING.estimated_size("") == 1
+
+    def test_estimated_size_none_is_one(self):
+        assert INT.estimated_size(None) == 1
+
+
+class TestPath:
+    def test_parse_simple(self):
+        path = Path.parse("name")
+        assert path.steps == ("name",)
+        assert path.root == "name"
+
+    def test_parse_nested(self):
+        path = Path.parse("addr[0].zip")
+        assert path.steps == ("addr", 0, "zip")
+
+    def test_parse_deep(self):
+        path = Path.parse("a.b[2].c[10]")
+        assert path.steps == ("a", "b", 2, "c", 10)
+
+    def test_describe_round_trips(self):
+        for text in ("a", "a.b", "addr[0].zip", "a[1][2].b"):
+            assert Path.parse(text).describe() == text
+
+    def test_parse_rejects_leading_index(self):
+        with pytest.raises(SchemaError):
+            Path.parse("[0].zip")
+
+    def test_parse_rejects_trailing_dot(self):
+        with pytest.raises(SchemaError):
+            Path.parse("a.")
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            Path.parse("")
+
+    def test_evaluate_navigates(self):
+        row = {"addr": [{"zip": 94301, "state": "CA"}]}
+        assert Path.parse("addr[0].zip").evaluate(row) == 94301
+        assert Path.parse("addr[0].state").evaluate(row) == "CA"
+
+    def test_evaluate_missing_yields_none(self):
+        row = {"addr": [{"zip": 94301}]}
+        assert Path.parse("addr[1].zip").evaluate(row) is None
+        assert Path.parse("addr[0].state").evaluate(row) is None
+        assert Path.parse("other").evaluate(row) is None
+
+    def test_evaluate_type_mismatch_yields_none(self):
+        assert Path.parse("a[0]").evaluate({"a": {"not": "a list"}}) is None
+        assert Path.parse("a.b").evaluate({"a": [1, 2]}) is None
+
+
+class TestSchema:
+    def make(self):
+        return Schema.of(id=INT, name=STRING, score=FLOAT)
+
+    def test_names_in_order(self):
+        assert self.make().names == ("id", "name", "score")
+
+    def test_type_of(self):
+        assert self.make().type_of("id") is INT
+        with pytest.raises(SchemaError):
+            self.make().type_of("missing")
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema((("a", INT), ("a", STRING)))
+
+    def test_contains_and_len(self):
+        schema = self.make()
+        assert "id" in schema
+        assert "missing" not in schema
+        assert len(schema) == 3
+
+    def test_project(self):
+        projected = self.make().project(["score", "id"])
+        assert projected.names == ("score", "id")
+
+    def test_project_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            self.make().project(["nope"])
+
+    def test_merge_disjoint(self):
+        merged = self.make().merge(Schema.of(extra=BOOL))
+        assert merged.names == ("id", "name", "score", "extra")
+
+    def test_merge_same_type_dedupes(self):
+        merged = self.make().merge(Schema.of(id=INT))
+        assert merged.names == ("id", "name", "score")
+
+    def test_merge_conflicting_type_raises(self):
+        with pytest.raises(SchemaError):
+            self.make().merge(Schema.of(id=STRING))
+
+    def test_validate_row(self):
+        schema = self.make()
+        schema.validate_row({"id": 1, "name": "x", "score": 2.0})
+        with pytest.raises(SchemaError):
+            schema.validate_row({"id": "oops"})
+        with pytest.raises(SchemaError):
+            schema.validate_row({"unknown": 1})
+
+    def test_row_size_counts_unknown_fields_too(self):
+        schema = self.make()
+        base = schema.estimated_row_size({"id": 1})
+        with_extra = schema.estimated_row_size({"id": 1, "zzz": "abcdef"})
+        assert with_extra > base
+
+
+class TestEstimateValueSize:
+    def test_scalars(self):
+        assert estimate_value_size(None) == 1
+        assert estimate_value_size(True) == 1
+        assert estimate_value_size(12345) == 8
+        assert estimate_value_size(1.5) == 8
+        assert estimate_value_size("abc") == 3
+
+    def test_containers_sum_members(self):
+        assert estimate_value_size([1, 2]) == 2 + 16
+        nested = {"a": [1, 2], "b": "xy"}
+        assert estimate_value_size(nested) > estimate_value_size([1, 2])
+
+    @given(st.recursive(
+        st.one_of(st.none(), st.booleans(), st.integers(),
+                  st.floats(allow_nan=False, allow_infinity=False),
+                  st.text(max_size=20)),
+        lambda children: st.one_of(
+            st.lists(children, max_size=5),
+            st.dictionaries(st.text(max_size=5), children, max_size=5),
+        ),
+        max_leaves=20,
+    ))
+    def test_size_always_positive(self, value):
+        assert estimate_value_size(value) >= 1

@@ -1,0 +1,88 @@
+"""Execution strategies: ordering and parallelism choices (Section 5.3)."""
+
+import pytest
+
+from repro.core.strategies import STRATEGIES, ExecutionStrategy, strategy_named
+from repro.errors import PlanError
+from repro.jaql.compiler import CompiledJob
+
+
+class _FakeJob:
+    def __init__(self, name):
+        self.name = name
+
+
+def job(name, cost, joins):
+    return CompiledJob(
+        job=_FakeJob(name),
+        depends_on=[],
+        output_aliases=frozenset((name,)),
+        applied_predicates=(),
+        join_count=joins,
+        estimated_cost=cost,
+        estimated_rows=0.0,
+    )
+
+
+READY = [
+    job("cheap_certain", cost=10.0, joins=1),
+    job("cheap_uncertain", cost=20.0, joins=3),
+    job("pricey_uncertain", cost=90.0, joins=3),
+    job("pricey_certain", cost=100.0, joins=1),
+]
+
+
+class TestChoices:
+    def test_cheap1(self):
+        chosen = strategy_named("CHEAP-1").choose(READY)
+        assert [c.name for c in chosen] == ["cheap_certain"]
+
+    def test_cheap2(self):
+        chosen = strategy_named("CHEAP-2").choose(READY)
+        assert [c.name for c in chosen] == ["cheap_certain",
+                                            "cheap_uncertain"]
+
+    def test_unc1_prefers_most_joins_then_cheapest(self):
+        chosen = strategy_named("UNC-1").choose(READY)
+        assert [c.name for c in chosen] == ["cheap_uncertain"]
+
+    def test_unc2(self):
+        chosen = strategy_named("UNC-2").choose(READY)
+        assert [c.name for c in chosen] == ["cheap_uncertain",
+                                            "pricey_uncertain"]
+
+    def test_simple_so_takes_first_in_compilation_order(self):
+        chosen = strategy_named("SIMPLE_SO").choose(READY)
+        assert [c.name for c in chosen] == ["cheap_certain"]
+
+    def test_simple_mo_takes_all(self):
+        chosen = strategy_named("SIMPLE_MO").choose(READY)
+        assert len(chosen) == len(READY)
+
+    def test_empty_ready_list(self):
+        for strategy in STRATEGIES.values():
+            assert strategy.choose([]) == []
+
+    def test_parallelism_caps_at_available(self):
+        chosen = strategy_named("UNC-2").choose(READY[:1])
+        assert len(chosen) == 1
+
+    def test_ties_break_by_name_deterministically(self):
+        tied = [job("b", 5.0, 2), job("a", 5.0, 2)]
+        chosen = strategy_named("CHEAP-1").choose(tied)
+        assert chosen[0].name == "a"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(PlanError):
+            strategy_named("GREEDY-9")
+
+    def test_unknown_priority_rejected(self):
+        bogus = ExecutionStrategy("x", "entropy", 1)
+        with pytest.raises(PlanError):
+            bogus.choose(READY)
+
+    def test_registry_matches_paper_strategy_set(self):
+        assert set(STRATEGIES) == {
+            "UNC-1", "UNC-2", "CHEAP-1", "CHEAP-2",
+            "SIMPLE_SO", "SIMPLE_MO",
+        }

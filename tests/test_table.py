@@ -1,0 +1,84 @@
+"""Table container behaviour."""
+
+import pytest
+
+from repro.data.schema import INT, STRING, Schema
+from repro.data.table import Table, _hashable
+from repro.errors import SchemaError
+
+SCHEMA = Schema.of(id=INT, name=STRING)
+
+
+def make_table(count: int = 5) -> Table:
+    rows = [{"id": i, "name": f"n{i % 3}"} for i in range(count)]
+    return Table("t", SCHEMA, rows)
+
+
+class TestTable:
+    def test_len_and_iter(self):
+        table = make_table(4)
+        assert len(table) == 4
+        assert [row["id"] for row in table] == [0, 1, 2, 3]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("", SCHEMA, [])
+
+    def test_from_rows_validates_when_asked(self):
+        with pytest.raises(SchemaError):
+            Table.from_rows("t", SCHEMA, [{"id": "bad"}], validate=True)
+        table = Table.from_rows("t", SCHEMA, [{"id": "bad"}], validate=False)
+        assert len(table) == 1
+
+    def test_size_in_bytes_scales_with_rows(self):
+        assert make_table(10).size_in_bytes() > make_table(2).size_in_bytes()
+
+    def test_average_row_size(self):
+        table = make_table(10)
+        assert table.average_row_size() == pytest.approx(
+            table.size_in_bytes() / 10
+        )
+        assert Table("t", SCHEMA, []).average_row_size() == 0.0
+
+    def test_column_values(self):
+        assert make_table(3).column("id") == [0, 1, 2]
+
+    def test_column_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            make_table().column("missing")
+
+    def test_filter_and_project(self):
+        table = make_table(6)
+        filtered = table.filter(lambda row: row["id"] % 2 == 0)
+        assert [row["id"] for row in filtered] == [0, 2, 4]
+        projected = table.project(["name"])
+        assert projected.schema.names == ("name",)
+        assert all(set(row) == {"name"} for row in projected)
+
+    def test_head(self):
+        assert len(make_table(10).head(3)) == 3
+
+    def test_distinct_count(self):
+        table = make_table(9)  # names cycle through 3 values
+        assert table.distinct_count("name") == 3
+        assert table.distinct_count("id") == 9
+
+    def test_distinct_count_ignores_nulls(self):
+        table = Table("t", SCHEMA, [{"id": None}, {"id": 1}, {"id": 1}])
+        assert table.distinct_count("id") == 1
+
+
+class TestHashable:
+    def test_scalars_pass_through(self):
+        assert _hashable(3) == 3
+        assert _hashable("x") == "x"
+
+    def test_lists_become_tuples(self):
+        assert _hashable([1, [2, 3]]) == (1, (2, 3))
+
+    def test_dicts_become_sorted_tuples(self):
+        assert _hashable({"b": 1, "a": 2}) == (("a", 2), ("b", 1))
+
+    def test_nested_structures_are_hashable(self):
+        value = {"a": [{"b": [1, 2]}]}
+        hash(_hashable(value))  # must not raise

@@ -1,0 +1,126 @@
+"""TPC-H generator: cardinalities, integrity, injected correlations."""
+
+import pytest
+
+from repro.data.tpch import (
+    BASE_CARDINALITIES,
+    PAPER_SCALE_FACTORS,
+    ZIP_STATES,
+    generate_restaurants,
+    generate_tpch,
+    order_zone_region,
+    scaled_cardinality,
+)
+
+
+class TestCardinalities:
+    def test_fixed_tables(self, tpch):
+        assert len(tpch["region"]) == 5
+        assert len(tpch["nation"]) == 25
+
+    def test_scaling_ratios(self, tpch):
+        sf = tpch.scale_factor
+        for name in ("supplier", "customer", "part", "orders", "lineitem"):
+            expected = max(1, round(BASE_CARDINALITIES[name] * sf))
+            assert len(tpch[name]) == expected
+
+    def test_partsupp_is_four_per_part(self, tpch):
+        assert len(tpch["partsupp"]) == 4 * len(tpch["part"])
+
+    def test_scaled_cardinality_region_is_constant(self):
+        assert scaled_cardinality("region", 100.0) == 5
+
+    def test_paper_scale_factors_keep_ratio(self):
+        values = [PAPER_SCALE_FACTORS[sf] for sf in (100, 300, 1000)]
+        assert values[1] / values[0] == pytest.approx(3.0)
+        assert values[2] / values[0] == pytest.approx(10.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate_tpch(0.01, seed=5)
+        b = generate_tpch(0.01, seed=5)
+        assert a["orders"].rows == b["orders"].rows
+
+    def test_different_seed_differs(self):
+        a = generate_tpch(0.01, seed=5)
+        b = generate_tpch(0.01, seed=6)
+        assert a["orders"].rows != b["orders"].rows
+
+
+class TestReferentialIntegrity:
+    def test_nation_region_keys(self, tpch):
+        region_keys = {row["r_regionkey"] for row in tpch["region"]}
+        assert all(row["n_regionkey"] in region_keys
+                   for row in tpch["nation"])
+
+    def test_customer_nation_keys(self, tpch):
+        nation_keys = {row["n_nationkey"] for row in tpch["nation"]}
+        assert all(row["c_nationkey"] in nation_keys
+                   for row in tpch["customer"])
+
+    def test_orders_reference_customers(self, tpch):
+        customer_keys = {row["c_custkey"] for row in tpch["customer"]}
+        assert all(row["o_custkey"] in customer_keys
+                   for row in tpch["orders"])
+
+    def test_lineitem_references(self, tpch):
+        order_keys = {row["o_orderkey"] for row in tpch["orders"]}
+        part_keys = {row["p_partkey"] for row in tpch["part"]}
+        supp_keys = {row["s_suppkey"] for row in tpch["supplier"]}
+        for row in tpch["lineitem"].rows:
+            assert row["l_orderkey"] in order_keys
+            assert row["l_partkey"] in part_keys
+            assert row["l_suppkey"] in supp_keys
+
+    def test_lineitem_pairs_exist_in_partsupp(self, tpch):
+        pairs = {(row["ps_partkey"], row["ps_suppkey"])
+                 for row in tpch["partsupp"]}
+        assert all((row["l_partkey"], row["l_suppkey"]) in pairs
+                   for row in tpch["lineitem"])
+
+
+class TestInjectedCorrelation:
+    def test_zone_determines_region(self, tpch):
+        mapping = {}
+        for row in tpch["orders"].rows:
+            zone = row["o_orderzone"]
+            region = row["o_orderregion"]
+            assert mapping.setdefault(zone, region) == region
+
+    def test_zone_region_helper_consistent(self):
+        zone, region = order_zone_region(3)
+        assert zone == "Z03"
+        assert region == "NORTH"
+        zone, region = order_zone_region(7)
+        assert region == "SOUTH"
+
+    def test_dates_are_iso_and_in_range(self, tpch):
+        for row in tpch["orders"].rows[:200]:
+            date = row["o_orderdate"]
+            assert len(date) == 10 and date[4] == "-" and date[7] == "-"
+            assert "1992-01-01" <= date <= "1998-12-31"
+
+
+class TestRestaurants:
+    def test_zip_determines_state(self, restaurant_tables):
+        for row in restaurant_tables["restaurant"].rows:
+            for address in row["addr"]:
+                assert ZIP_STATES[address["zip"]] == address["state"]
+
+    def test_reviews_reference_restaurants(self, restaurant_tables):
+        ids = {row["id"] for row in restaurant_tables["restaurant"]}
+        assert all(row["rsid"] in ids
+                   for row in restaurant_tables["review"])
+
+    def test_reviews_reference_tweets(self, restaurant_tables):
+        tweet_ids = {row["id"] for row in restaurant_tables["tweet"]}
+        assert all(row["tid"] in tweet_ids
+                   for row in restaurant_tables["review"])
+
+    def test_positive_reviews_have_high_stars(self, restaurant_tables):
+        from repro.jaql.functions import sentanalysis
+
+        for row in restaurant_tables["review"].rows:
+            if sentanalysis(row["text"]):
+                assert row["stars"] >= 4

@@ -1,0 +1,102 @@
+"""Public validation helpers."""
+
+import pytest
+
+from repro.core.dyno import Dyno
+from repro.data.schema import INT, STRING, Schema
+from repro.data.table import Table
+from repro.validation import (
+    VerificationReport,
+    canonical_rows,
+    compare_rows,
+    interpret,
+    verify_workload,
+)
+
+
+def tables():
+    return {
+        "t": Table("t", Schema.of(k=INT, v=STRING), [
+            {"k": i % 4, "v": f"v{i % 3}"} for i in range(40)
+        ]),
+        "d": Table("d", Schema.of(k=INT, label=STRING), [
+            {"k": i, "label": f"L{i}"} for i in range(4)
+        ]),
+    }
+
+
+class TestCanonicalRows:
+    def test_order_insensitive(self):
+        a = [{"x": 1}, {"x": 2}]
+        b = [{"x": 2}, {"x": 1}]
+        assert canonical_rows(a) == canonical_rows(b)
+
+    def test_float_tolerance(self):
+        a = [{"x": 0.30000000004}]
+        b = [{"x": 0.3}]
+        assert canonical_rows(a) == canonical_rows(b)
+
+    def test_nested_values(self):
+        a = [{"x": [1, {"b": 2}]}]
+        assert canonical_rows(a) == canonical_rows(list(a))
+
+
+class TestCompareRows:
+    def test_match(self):
+        report = compare_rows([{"x": 1}], [{"x": 1}])
+        assert report.matches
+        assert "OK" in report.describe()
+
+    def test_missing_and_unexpected(self):
+        report = compare_rows([{"x": 1}], [{"x": 2}])
+        assert not report.matches
+        assert len(report.missing) == 1
+        assert len(report.unexpected) == 1
+        text = report.describe()
+        assert "missing" in text and "unexpected" in text
+
+    def test_multiset_semantics(self):
+        report = compare_rows([{"x": 1}], [{"x": 1}, {"x": 1}])
+        assert not report.matches
+        assert len(report.missing) == 1
+
+    def test_describe_truncates(self):
+        report = compare_rows([], [{"x": i} for i in range(20)])
+        assert "more missing" in report.describe(limit=3)
+
+
+class TestVerifyWorkload:
+    def test_valid_query_verifies(self):
+        dyno = Dyno(tables())
+        report = verify_workload(
+            dyno,
+            "SELECT t.v AS v, d.label AS label FROM t, d WHERE t.k = d.k",
+        )
+        assert report.matches
+        assert report.executed_rows == 40
+
+    def test_interpret_helper(self):
+        dyno = Dyno(tables())
+        spec = dyno.parse(
+            "SELECT t.v AS v FROM t, d WHERE t.k = d.k AND d.label = 'L1'"
+        )
+        rows = interpret(dyno.tables, spec)
+        assert len(rows) == 10
+
+    def test_limit_queries_compare_cardinality(self):
+        dyno = Dyno(tables())
+        report = verify_workload(
+            dyno,
+            "SELECT t.v AS v, count(*) AS n FROM t, d WHERE t.k = d.k "
+            "GROUP BY t.v ORDER BY n DESC LIMIT 2",
+        )
+        assert report.matches
+        assert report.executed_rows == 2
+
+    def test_tpch_workload_verifies(self, dyno_factory):
+        from repro.workloads.queries import q9_prime
+
+        workload = q9_prime()
+        dyno = dyno_factory(udfs=workload.udfs)
+        report = verify_workload(dyno, workload.final_spec)
+        assert report.matches, report.describe()

@@ -1,0 +1,113 @@
+"""Log-analysis workload: nested structs, bot UDF, correlated predicates."""
+
+import pytest
+
+from repro.core.dyno import Dyno
+from repro.workloads.cords import discover_correlations
+from repro.workloads.weblogs import (
+    ENGINE_OF_BROWSER,
+    generate_weblogs,
+    is_human,
+    weblog_engagement,
+    weblog_premium_blink,
+)
+from tests.conftest import assert_same_rows, reference_rows
+
+
+@pytest.fixture(scope="module")
+def weblogs():
+    return generate_weblogs(user_count=100, page_count=50,
+                            event_count=3000, seed=23)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        first = generate_weblogs(event_count=100, seed=1)
+        second = generate_weblogs(event_count=100, seed=1)
+        assert first["pageviews"].rows == second["pageviews"].rows
+
+    def test_nested_client_struct(self, weblogs):
+        row = weblogs["pageviews"].rows[0]
+        assert set(row["client"]) == {"ua", "browser", "engine", "ip"}
+        assert isinstance(row["tags"], list)
+
+    def test_browser_determines_engine(self, weblogs):
+        for row in weblogs["pageviews"].rows:
+            client = row["client"]
+            assert ENGINE_OF_BROWSER[client["browser"]] == client["engine"]
+
+    def test_referential_integrity(self, weblogs):
+        user_ids = {row["userid"] for row in weblogs["users"]}
+        urls = {row["url"] for row in weblogs["pages"]}
+        for row in weblogs["pageviews"].rows[:500]:
+            assert row["userid"] in user_ids
+            assert row["url"] in urls
+
+    def test_bot_fraction_realized(self, weblogs):
+        bots = sum(1 for row in weblogs["pageviews"].rows
+                   if not is_human(row["client"]["ua"]))
+        fraction = bots / len(weblogs["pageviews"])
+        assert fraction == pytest.approx(0.3, abs=0.05)
+
+
+class TestUdf:
+    def test_is_human(self):
+        assert is_human("chrome/117.0")
+        assert not is_human("bot/99.0")
+        assert not is_human(None)
+        assert not is_human(42)
+
+
+class TestQueries:
+    def test_engagement_matches_reference(self, weblogs):
+        workload = weblog_engagement()
+        dyno = Dyno(weblogs, udfs=workload.udfs)
+        execution = dyno.execute(workload.final_spec)
+        expected = reference_rows(weblogs, workload.final_spec)
+        assert len(execution.rows) == len(expected)
+        assert (sorted(round(r["dwell"], 1) for r in execution.rows)
+                == sorted(round(r["dwell"], 1) for r in expected))
+
+    def test_pilot_measures_bot_filter(self, weblogs):
+        workload = weblog_engagement()
+        dyno = Dyno(weblogs, udfs=workload.udfs)
+        block = dyno.prepare(workload.final_spec).block
+        report = dyno.executor.pilot_runner.run(block)
+        pv = block.leaf_for("pv")
+        estimated = report.outcomes[pv.signature()].stats.row_count
+        truth = sum(
+            1 for row in weblogs["pageviews"].rows
+            if is_human(row["client"]["ua"]) and row["dwell_ms"] >= 1000
+        )
+        assert estimated == pytest.approx(truth, rel=0.35)
+
+    def test_premium_blink_matches_reference(self, weblogs):
+        workload = weblog_premium_blink()
+        dyno = Dyno(weblogs, udfs=workload.udfs)
+        execution = dyno.execute(workload.final_spec)
+        expected = reference_rows(weblogs, workload.final_spec)
+        assert_same_rows(execution.rows, expected)
+
+    def test_correlated_predicates_on_nested_paths(self, weblogs):
+        """Independence underestimates chrome+blink by the engine factor."""
+        from repro.core.baselines import oracle_leaf_stats, relopt_leaf_stats
+
+        workload = weblog_premium_blink()
+        dyno = Dyno(weblogs, udfs=workload.udfs)
+        block = dyno.prepare(workload.final_spec).block
+        pv = block.leaf_for("pv")
+        believed = relopt_leaf_stats(dyno.tables, block)[pv.signature()]
+        truth = oracle_leaf_stats(dyno.tables, block)[pv.signature()]
+        assert believed.row_count < 0.7 * truth.row_count
+
+
+class TestCordsOnLogs:
+    def test_discovers_browser_engine_dependency(self, weblogs):
+        findings = discover_correlations(
+            weblogs["pageviews"],
+            columns=["browser", "engine"],
+            value_of=lambda row, name: row["client"][name],
+        )
+        assert any(f.x == "browser" and f.y == "engine"
+                   and f.is_soft_functional_dependency
+                   for f in findings)

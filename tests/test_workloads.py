@@ -1,0 +1,130 @@
+"""Workload definitions: block shapes match the paper's descriptions."""
+
+import pytest
+
+from repro.workloads.queries import (
+    TPCH_WORKLOADS,
+    q1_restaurants,
+    q2,
+    q7,
+    q8_prime,
+    q9_prime,
+    q10,
+)
+
+
+def block_of(dyno_factory, workload, stage=-1):
+    dyno = dyno_factory(udfs=workload.udfs)
+    spec = workload.stages[stage][0]
+    return dyno.prepare(spec).block
+
+
+class TestShapes:
+    def test_q10_is_4_way(self, dyno_factory):
+        block = block_of(dyno_factory, q10())
+        assert len(block.leaves) == 4
+        assert len(block.conditions) == 3
+
+    def test_q7_has_nation_self_join_and_disjunction(self, dyno_factory):
+        block = block_of(dyno_factory, q7())
+        assert len(block.leaves) == 6
+        nations = [leaf for leaf in block.leaves
+                   if leaf.source_name == "nation"]
+        assert len(nations) == 2
+        assert len(block.non_local_predicates) == 1
+
+    def test_q8_is_8_leaf_with_udf_and_correlation(self, dyno_factory):
+        block = block_of(dyno_factory, q8_prime())
+        assert len(block.leaves) == 8
+        orders = block.leaf_for("o")
+        # date range (2) + correlated zone/region pair (2).
+        assert len(orders.predicates) == 4
+        assert any(pred.is_udf for pred in block.non_local_predicates)
+
+    def test_q9_star_with_dimension_udfs(self, dyno_factory):
+        block = block_of(dyno_factory, q9_prime())
+        assert len(block.leaves) == 6
+        for alias in ("p", "ps", "o"):
+            assert any(pred.is_udf
+                       for pred in block.leaf_for(alias).predicates)
+        # lineitem is the star's hub: it touches most conditions.
+        hub_conditions = [
+            c for c in block.conditions
+            if "l" in {c.left.alias, c.right.alias}
+        ]
+        assert len(hub_conditions) == 5
+
+    def test_q2_has_two_stages(self):
+        workload = q2()
+        assert len(workload.stages) == 2
+        assert workload.stages[0][1] == "q2mincost"
+        assert workload.stages[1][1] is None
+
+    def test_q2_outer_block_is_6_leaf(self, dyno_factory):
+        workload = q2()
+        dyno = dyno_factory(udfs=workload.udfs)
+        # The outer stage references the intermediate table by name; it
+        # need not exist for block extraction.
+        block = dyno.prepare(workload.stages[1][0]).block
+        assert len(block.leaves) == 6
+
+    def test_q1_restaurants(self, dyno_factory, restaurant_tables):
+        workload = q1_restaurants()
+        dyno = dyno_factory(udfs=workload.udfs, tables=restaurant_tables)
+        block = dyno.prepare(workload.final_spec).block
+        assert len(block.leaves) == 3
+        rs = block.leaf_for("rs")
+        assert len(rs.predicates) == 2  # correlated zip+state
+        assert any(p.is_udf for p in block.leaf_for("rv").predicates)
+        assert len(block.non_local_predicates) == 1  # checkid over rv x t
+
+
+class TestRegistry:
+    def test_expected_names(self):
+        assert set(TPCH_WORKLOADS) == {"Q2", "Q7", "Q8'", "Q9'", "Q10"}
+
+    def test_factories_produce_fresh_instances(self):
+        first = TPCH_WORKLOADS["Q10"]()
+        second = TPCH_WORKLOADS["Q10"]()
+        assert first is not second
+
+    def test_q9_selectivity_parameter(self):
+        low = q9_prime(udf_selectivity=0.001)
+        udf = low.udfs.get("q9part")
+        assert "0.001" in udf.version
+
+    def test_tables_declared(self):
+        for factory in TPCH_WORKLOADS.values():
+            workload = factory()
+            assert workload.tables
+
+
+class TestExtraWorkloads:
+    def test_q3_runs_end_to_end(self, dyno_factory, tpch_tables):
+        from repro.workloads.queries import q3
+        from tests.conftest import reference_rows
+
+        workload = q3()
+        dyno = dyno_factory(udfs=workload.udfs)
+        execution = dyno.execute(workload.final_spec)
+        expected = reference_rows(tpch_tables, workload.final_spec)
+        assert len(execution.rows) == len(expected)
+
+    def test_q5_rejected_like_the_paper(self, dyno_factory):
+        from repro.errors import UnsupportedQueryError
+        from repro.workloads.queries import q5_cyclic
+
+        workload = q5_cyclic()
+        dyno = dyno_factory(udfs=workload.udfs)
+        with pytest.raises(UnsupportedQueryError):
+            dyno.execute(workload.final_spec)
+
+    def test_q5_block_really_is_cyclic(self, dyno_factory):
+        from repro.optimizer.joingraph import JoinGraph
+        from repro.workloads.queries import q5_cyclic
+
+        workload = q5_cyclic()
+        dyno = dyno_factory(udfs=workload.udfs)
+        block = dyno.prepare(workload.final_spec).block
+        graph = JoinGraph.build(block)
+        assert graph._has_cycle()
