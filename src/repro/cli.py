@@ -55,6 +55,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--backend", choices=["jaql", "hive"],
                         default="jaql")
     parser.add_argument("--pilot-mode", choices=["MT", "ST"], default="MT")
+    parser.add_argument("--parallel", action="store_true",
+                        help="run dependency-free leaf jobs on a worker "
+                             "pool (results identical to serial execution)")
     parser.add_argument("--explain", action="store_true",
                         help="plan only; do not execute the query")
     parser.add_argument("--show-plans", action="store_true",
@@ -95,6 +98,8 @@ def main(argv: list[str] | None = None,
 
     workload = _resolve_workload(args)
     config = DEFAULT_CONFIG.with_backend(args.backend)
+    if args.parallel:
+        config = config.with_parallel_execution()
     dyno = Dyno(dataset.tables, config=config,
                 udfs=workload.udfs if workload else None)
 

@@ -16,6 +16,7 @@ described in the paper.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from typing import Any
 
@@ -23,50 +24,68 @@ from repro.errors import CoordinationError
 
 
 class SharedCounter:
-    """A named monotonically-updated counter (pilot-run k-counter)."""
+    """A named monotonically-updated counter (pilot-run k-counter).
+
+    Increments are atomic: tasks of concurrently-executing jobs (see
+    ``repro.cluster.parallel``) may share a counter, just as the paper's
+    map tasks share one ZooKeeper counter per leaf expression.
+    """
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def increment(self, delta: int = 1) -> int:
         if delta < 0:
             raise CoordinationError("counter increments must be non-negative")
-        self.value += delta
-        return self.value
+        with self._lock:
+            self.value += delta
+            return self.value
 
 
 class CoordinationService:
-    """Counters plus a hierarchical key/value registry of published entries."""
+    """Counters plus a hierarchical key/value registry of published entries.
+
+    Thread-safe: counter creation and entry publication are guarded by a
+    lock so tasks of concurrently-executing jobs can publish their partial
+    statistics, mirroring ZooKeeper's own linearizable writes.
+    """
 
     def __init__(self) -> None:
         self._counters: dict[str, SharedCounter] = {}
         self._registry: dict[str, dict[str, Any]] = defaultdict(dict)
+        self._lock = threading.Lock()
 
     # -- counters -------------------------------------------------------------
 
     def counter(self, name: str) -> SharedCounter:
-        if name not in self._counters:
-            self._counters[name] = SharedCounter(name)
-        return self._counters[name]
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = SharedCounter(name)
+            return self._counters[name]
 
     def reset_counter(self, name: str) -> None:
-        self._counters.pop(name, None)
+        with self._lock:
+            self._counters.pop(name, None)
 
     # -- registry (znode-like publication) -------------------------------------
 
     def publish(self, scope: str, key: str, value: Any) -> None:
         """Publish an entry under ``scope`` (e.g. partial-stats 'URL')."""
-        entries = self._registry[scope]
-        if key in entries:
-            raise CoordinationError(
-                f"entry {key!r} already published under {scope!r}"
-            )
-        entries[key] = value
+        with self._lock:
+            entries = self._registry[scope]
+            if key in entries:
+                raise CoordinationError(
+                    f"entry {key!r} already published under {scope!r}"
+                )
+            entries[key] = value
 
     def entries(self, scope: str) -> dict[str, Any]:
         """All entries published under ``scope`` (copy)."""
-        return dict(self._registry.get(scope, {}))
+        with self._lock:
+            return dict(self._registry.get(scope, {}))
 
     def clear_scope(self, scope: str) -> None:
-        self._registry.pop(scope, None)
+        with self._lock:
+            self._registry.pop(scope, None)

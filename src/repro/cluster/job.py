@@ -47,6 +47,20 @@ class TaskContext:
         if self._on_emit is not None:
             self._on_emit(1)
 
+    def emit_all(self, key: Any, values: list[Row]) -> None:
+        """Emit a batch of records under one key in a single call.
+
+        Equivalent to ``emit(key, v)`` per value, but the emit callback
+        (the pilot runs' shared output counter) fires once with the batch
+        size -- one coordination round-trip per split instead of one per
+        record, as a real task would batch its counter updates.
+        """
+        if not values:
+            return
+        self._emitted.extend((key, value) for value in values)
+        if self._on_emit is not None:
+            self._on_emit(len(values))
+
     @property
     def emitted(self) -> list[tuple[Any, Row]]:
         return self._emitted

@@ -26,6 +26,11 @@ from repro.cluster.coordination import CoordinationService
 from repro.cluster.costmodel import ClusterCostModel, TaskWork
 from repro.cluster.counters import Counters
 from repro.cluster.job import MapReduceJob, TaskContext, estimate_value_size
+from repro.cluster.parallel import (
+    JobSkipped,
+    ParallelJobExecutor,
+    dependency_levels,
+)
 from repro.cluster.scheduler import (
     JobTimeline,
     ScheduledJob,
@@ -76,6 +81,23 @@ class JobResult:
 
 
 @dataclass
+class _JobDataPass:
+    """Intermediate product of a job's data pass, before finalization.
+
+    Holds everything the worker side computed; the driver turns it into a
+    :class:`JobResult` by writing the output to DFS and merging published
+    statistics (see :meth:`ClusterRuntime._finalize_job`).
+    """
+
+    counters: Counters
+    output_rows: list[Row]
+    map_task_seconds: list[float]
+    reduce_task_seconds: list[float]
+    splits_processed: int
+    splits_total: int
+
+
+@dataclass
 class BatchResult:
     """Results of a set of jobs executed as one scheduling batch."""
 
@@ -108,6 +130,7 @@ class ClusterRuntime:
             config.cluster.total_reduce_slots,
             policy=config.cluster.scheduler_policy,
         )
+        self._parallel = ParallelJobExecutor(config.executor)
         #: cumulative simulated time of everything executed through
         #: :meth:`execute` / :meth:`execute_batch`.
         self.clock_seconds = 0.0
@@ -143,11 +166,36 @@ class ClusterRuntime:
         dependencies = dependencies or {}
         gates = gates or {}
 
-        # Data pass: run jobs in an order that respects dependencies so
-        # that inputs are materialized before consumers read them.
+        # Data pass: run jobs level by level so inputs are materialized
+        # before consumers read them. Independent jobs of a level run
+        # concurrently when the parallel executor is enabled; finalization
+        # (DFS writes, stats merges) always happens here, on the driver, in
+        # deterministic batch order -- so results are byte-identical either
+        # way.
+        levels = dependency_levels(jobs, dependencies)
         results: dict[str, JobResult] = {}
-        for job in self._topological(jobs, dependencies):
-            results[job.name] = self._run_job_data(job, gates.get(job.name))
+        if self._use_parallel(levels):
+            outcomes = self._parallel.run(
+                levels, gates, self._job_data_pass,
+                finalize=self._finalize_job,
+            )
+            for level in levels:
+                for job in level:
+                    outcome = outcomes[job.name]
+                    if isinstance(outcome, JobSkipped):
+                        raise JobError(
+                            f"job {job.name!r} skipped without a prior "
+                            f"failure"
+                        )  # pragma: no cover - defensive
+                    if isinstance(outcome, Exception):
+                        raise outcome
+                    results[job.name] = outcome
+        else:
+            for level in levels:
+                for job in level:
+                    results[job.name] = self._run_job_data(
+                        job, gates.get(job.name)
+                    )
 
         # Time pass: schedule all tasks over the shared slot pools.
         scheduled = [
@@ -172,31 +220,14 @@ class ClusterRuntime:
     # data execution
     # ------------------------------------------------------------------
 
-    def _topological(self, jobs: list[MapReduceJob],
-                     dependencies: dict[str, list[str]]) -> list[MapReduceJob]:
-        by_name = {job.name: job for job in jobs}
-        visited: dict[str, int] = {}  # 0 = visiting, 1 = done
-        ordered: list[MapReduceJob] = []
-
-        def visit(name: str) -> None:
-            state = visited.get(name)
-            if state == 1:
-                return
-            if state == 0:
-                raise JobError(f"dependency cycle involving job {name!r}")
-            visited[name] = 0
-            for dep in dependencies.get(name, []):
-                if dep not in by_name:
-                    raise JobError(
-                        f"job {name!r} depends on {dep!r} not in batch"
-                    )
-                visit(dep)
-            visited[name] = 1
-            ordered.append(by_name[name])
-
-        for job in jobs:
-            visit(job.name)
-        return ordered
+    def _use_parallel(self, levels: list[list[MapReduceJob]]) -> bool:
+        """Parallel data pass only when some level is actually wide."""
+        executor = self.config.executor
+        if not executor.parallel_jobs:
+            return False
+        return any(
+            len(level) >= executor.min_parallel_jobs for level in levels
+        )
 
     def _load_broadcast_sides(
         self, job: MapReduceJob, counters: Counters, num_map_tasks: int
@@ -253,6 +284,18 @@ class ClusterRuntime:
 
     def _run_job_data(self, job: MapReduceJob,
                       gate: DispatchGate | None) -> JobResult:
+        return self._finalize_job(job, self._job_data_pass(job, gate))
+
+    def _job_data_pass(self, job: MapReduceJob,
+                       gate: DispatchGate | None) -> "_JobDataPass":
+        """Everything except DFS output writes and the client-side stats
+        merge -- safe to run off the driver thread (see cluster.parallel).
+
+        Each emitted row is sized exactly *once*: the estimate feeds the
+        map output byte counter, travels with the record through the
+        shuffle, and reaches the statistics collector -- the seed sized
+        the same row up to three times.
+        """
         counters = Counters()
         attempts = self._task_attempts(job.name)
         splits = job.splits if job.splits is not None else self._all_splits(job)
@@ -260,7 +303,8 @@ class ClusterRuntime:
 
         build_seconds = self._load_broadcast_sides(job, counters, len(splits))
 
-        map_outputs: list[tuple[object, Row]] = []
+        #: keyed map output with each value's byte size carried alongside.
+        map_outputs: list[tuple[object, Row, int]] = []
         map_task_seconds: list[float] = []
         output_rows: list[Row] = []
         stat_tasks: list[TaskStatsCollector] = []
@@ -274,38 +318,39 @@ class ClusterRuntime:
             context = TaskContext()
             job.mapper(context, split.file_name, rows)
 
-            emitted_bytes = 0
+            emitted = context.emitted
             if job.is_map_only:
-                task_rows = [value for _, value in context.emitted]
-                for row in task_rows:
-                    emitted_bytes += estimate_value_size(row)
+                task_rows = [value for _, value in emitted]
+                task_sizes = [estimate_value_size(row) for row in task_rows]
+                emitted_bytes = sum(task_sizes)
                 output_rows.extend(task_rows)
                 if job.stats_columns:
                     collector = self._make_collector(job, f"map-{split.index}")
-                    for row in task_rows:
-                        collector.observe(row, estimate_value_size(row))
+                    collector.observe_batch(task_rows, task_sizes)
                     collector.publish()
                     stat_tasks.append(collector)
             else:
-                for key, value in context.emitted:
-                    emitted_bytes += 8 + estimate_value_size(value)
-                map_outputs.extend(context.emitted)
+                emitted_bytes = 0
+                for key, value in emitted:
+                    size = estimate_value_size(value)
+                    emitted_bytes += 8 + size
+                    map_outputs.append((key, value, size))
 
             counters.increment("map", Counters.MAP_INPUT_RECORDS, len(rows))
             counters.increment("map", Counters.MAP_INPUT_BYTES,
                                split.size_bytes)
             counters.increment("map", Counters.MAP_OUTPUT_RECORDS,
-                               len(context.emitted))
+                               len(emitted))
             counters.increment("map", Counters.MAP_OUTPUT_BYTES, emitted_bytes)
             stats_cpu = 0.0
             if job.stats_columns and job.is_map_only:
-                stats_cpu = (len(context.emitted)
+                stats_cpu = (len(emitted)
                              * self.config.cluster.stats_seconds_per_record)
             work = TaskWork(
                 input_bytes=split.size_bytes,
                 input_records=len(rows),
                 output_bytes=emitted_bytes,
-                output_records=len(context.emitted),
+                output_records=len(emitted),
                 extra_cpu_seconds=context.extra_cpu_seconds + stats_cpu,
             )
             map_task_seconds.append(attempts(
@@ -322,6 +367,20 @@ class ClusterRuntime:
                 stat_tasks, attempts,
             )
 
+        return _JobDataPass(
+            counters=counters,
+            output_rows=output_rows,
+            map_task_seconds=map_task_seconds,
+            reduce_task_seconds=reduce_task_seconds,
+            splits_processed=splits_processed,
+            splits_total=splits_total,
+        )
+
+    def _finalize_job(self, job: MapReduceJob,
+                      data: "_JobDataPass") -> JobResult:
+        """Driver-side completion: materialize output, merge statistics."""
+        counters = data.counters
+        output_rows = data.output_rows
         output_file = self.dfs.write_rows(
             job.output_name, job.output_schema, output_rows, overwrite=True
         )
@@ -339,17 +398,17 @@ class ClusterRuntime:
             output_rows=len(output_rows),
             output_bytes=output_file.size_bytes,
             counters=counters,
-            map_task_seconds=map_task_seconds,
-            reduce_task_seconds=reduce_task_seconds,
-            splits_processed=splits_processed,
-            splits_total=splits_total,
+            map_task_seconds=data.map_task_seconds,
+            reduce_task_seconds=data.reduce_task_seconds,
+            splits_processed=data.splits_processed,
+            splits_total=data.splits_total,
             collected_stats=collected,
         )
 
     def _run_reduce_phase(
         self,
         job: MapReduceJob,
-        map_outputs: list[tuple[object, Row]],
+        map_outputs: list[tuple[object, Row, int]],
         counters: Counters,
         reduce_task_seconds: list[float],
         stat_tasks: list[TaskStatsCollector],
@@ -358,38 +417,37 @@ class ClusterRuntime:
         if attempts is None:
             attempts = self._task_attempts(job.name)
         num_reducers = job.num_reducers
-        partitions: list[list[tuple[object, Row]]] = [
+        partitions: list[list[tuple[object, Row, int]]] = [
             [] for _ in range(num_reducers)
         ]
-        for key, value in map_outputs:
-            partitions[kmv_hash(key) % num_reducers].append((key, value))
+        for entry in map_outputs:
+            partitions[kmv_hash(entry[0]) % num_reducers].append(entry)
 
         output_rows: list[Row] = []
         for partition_id, partition in enumerate(partitions):
             groups: dict[object, list[Row]] = defaultdict(list)
             order: dict[object, int] = {}
-            for key, value in partition:
+            shuffle_bytes = 0
+            for key, value, size in partition:
+                shuffle_bytes += 8 + size
                 frozen = _freeze_key(key)
                 if frozen not in order:
                     order[frozen] = len(order)
                 groups[frozen].append(value)
 
             context = TaskContext()
-            shuffle_bytes = sum(
-                8 + estimate_value_size(value) for _, value in partition
-            )
             # Keys are reduced in a deterministic (sorted-by-arrival) order,
             # mirroring the framework's sort phase.
             for frozen in sorted(groups, key=lambda item: order[item]):
                 job.reducer(context, frozen, groups[frozen])  # type: ignore[misc]
 
             task_rows = [value for _, value in context.emitted]
-            task_bytes = sum(estimate_value_size(row) for row in task_rows)
+            task_sizes = [estimate_value_size(row) for row in task_rows]
+            task_bytes = sum(task_sizes)
             output_rows.extend(task_rows)
             if job.stats_columns:
                 collector = self._make_collector(job, f"reduce-{partition_id}")
-                for row in task_rows:
-                    collector.observe(row, estimate_value_size(row))
+                collector.observe_batch(task_rows, task_sizes)
                 collector.publish()
                 stat_tasks.append(collector)
 

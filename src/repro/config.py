@@ -147,12 +147,48 @@ class PilotConfig:
 
 
 @dataclass(frozen=True)
+class ExecutorConfig:
+    """Data-path executor knobs (the *driver's* wall-clock, not simulated
+    time).
+
+    When ``parallel_jobs`` is on, :class:`repro.cluster.runtime.ClusterRuntime`
+    runs the data pass of dependency-free jobs of a batch concurrently on a
+    ``concurrent.futures`` pool and finalizes (DFS writes, statistics
+    merges) on the driver thread in deterministic batch order -- results
+    are byte-identical to serial execution. Simulated makespans are
+    unaffected either way: they come from the analytic cost model and the
+    slot scheduler, never from the driver's wall-clock.
+    """
+
+    #: run independent jobs of a batch concurrently.
+    parallel_jobs: bool = False
+    #: "thread" or "process". Process pools require picklable jobs; the
+    #: executor degrades to threads when a job cannot be pickled (compiled
+    #: mapper closures generally cannot).
+    pool: str = "thread"
+    #: worker count; None picks a small multiple of the CPU count.
+    max_workers: int | None = None
+    #: dependency levels narrower than this run inline (pool dispatch
+    #: overhead would exceed the win on one or two jobs).
+    min_parallel_jobs: int = 2
+
+    def __post_init__(self) -> None:
+        if self.pool not in ("thread", "process"):
+            raise ValueError(f"unknown executor pool: {self.pool!r}")
+        if self.max_workers is not None and self.max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        if self.min_parallel_jobs < 2:
+            raise ValueError("min_parallel_jobs must be >= 2")
+
+
+@dataclass(frozen=True)
 class DynoConfig:
     """Top-level configuration bundle."""
 
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     optimizer: OptimizerConfig = field(default_factory=OptimizerConfig)
     pilot: PilotConfig = field(default_factory=PilotConfig)
+    executor: ExecutorConfig = field(default_factory=ExecutorConfig)
     #: execution backend: "jaql" (build loaded per task) or "hive"
     #: (DistributedCache: build loaded once per node). Section 6.6.
     backend: str = "jaql"
@@ -166,6 +202,20 @@ class DynoConfig:
         if backend not in ("jaql", "hive"):
             raise ValueError(f"unknown backend: {backend!r}")
         return replace(self, backend=backend)
+
+    def with_parallel_execution(self, enabled: bool = True,
+                                pool: str | None = None,
+                                max_workers: int | None = None,
+                                ) -> "DynoConfig":
+        """Config with the parallel data-path executor toggled."""
+        executor = replace(
+            self.executor,
+            parallel_jobs=enabled,
+            pool=pool if pool is not None else self.executor.pool,
+            max_workers=(max_workers if max_workers is not None
+                         else self.executor.max_workers),
+        )
+        return replace(self, executor=executor)
 
 
 DEFAULT_CONFIG = DynoConfig()

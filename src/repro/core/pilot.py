@@ -245,15 +245,19 @@ class PilotRunner:
         k_records = self.config.pilot.k_records
         cpu_per_row = leaf.cpu_seconds_per_row
 
+        qualify = leaf.qualify_and_filter
+
         def mapper(context: TaskContext, source: str,
                    rows: list[Row]) -> None:
-            for row in rows:
-                if cpu_per_row:
-                    context.charge_cpu(cpu_per_row)
-                qualified = leaf.qualify_and_filter(row)
-                if qualified is not None:
-                    context.emit(None, qualified)
-                    counter.increment()
+            if cpu_per_row:
+                context.charge_cpu(cpu_per_row * len(rows))
+            qualified = [out for out in map(qualify, rows) if out is not None]
+            if qualified:
+                context.emit_all(None, qualified)
+                # One shared-counter update per split, not per record: the
+                # dispatch gate only reads the counter between splits, so
+                # early-stop decisions are unchanged.
+                counter.increment(len(qualified))
 
         total_map_slots = self.config.cluster.total_map_slots
         threshold = self.config.pilot.reuse_completion_threshold

@@ -104,14 +104,19 @@ class FieldType:
                 return max(1, len(value))
             return _ATOMIC_SIZES[self.kind]
         if self.kind == "array":
-            assert self.element is not None
-            return 2 + sum(self.element.estimated_size(item) for item in value)
+            element = self.element
+            assert element is not None
+            total = 2
+            for item in value:
+                total += element.estimated_size(item)
+            return total
         members = dict(self.fields)
-        return 2 + sum(
-            len(key) + members[key].estimated_size(item)
-            for key, item in value.items()
-            if key in members
-        )
+        total = 2
+        for key, item in value.items():
+            member = members.get(key)
+            if member is not None:
+                total += len(key) + member.estimated_size(item)
+        return total
 
     def describe(self) -> str:
         if self.kind in ATOMIC_TYPES:
@@ -138,12 +143,15 @@ def estimate_value_size(value: Any) -> int:
     if isinstance(value, str):
         return max(1, len(value))
     if isinstance(value, (list, tuple)):
-        return 2 + sum(estimate_value_size(item) for item in value)
+        total = 2
+        for item in value:
+            total += estimate_value_size(item)
+        return total
     if isinstance(value, dict):
-        return 2 + sum(
-            len(str(key)) + 2 + estimate_value_size(item)
-            for key, item in value.items()
-        )
+        total = 2
+        for key, item in value.items():
+            total += len(str(key)) + 2 + estimate_value_size(item)
+        return total
     return 8
 
 
@@ -257,6 +265,15 @@ class Schema:
     _index: dict[str, FieldType] = field(
         init=False, repr=False, compare=False, default_factory=dict
     )
+    #: per-field sizing plan: name -> (base, tag, payload). ``base`` is the
+    #: field's framing overhead (len(name) + 2); tag 0 = fixed-size atomic
+    #: with payload holding the full non-null size, tag 1 = string, tag 2 =
+    #: nested type with payload holding the FieldType. Precomputing this
+    #: keeps :meth:`estimated_row_size` -- the single hottest call of DFS
+    #: materialization -- to two dict lookups per field.
+    _sizers: dict[str, tuple[int, int, Any]] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         seen: set[str] = set()
@@ -267,6 +284,16 @@ class Schema:
         object.__setattr__(
             self, "_index", {name: ftype for name, ftype in self.fields}
         )
+        sizers: dict[str, tuple[int, int, Any]] = {}
+        for name, ftype in self.fields:
+            base = len(name) + 2
+            if ftype.kind == "string":
+                sizers[name] = (base, 1, None)
+            elif ftype.kind in _ATOMIC_SIZES:
+                sizers[name] = (base, 0, base + _ATOMIC_SIZES[ftype.kind])
+            else:
+                sizers[name] = (base, 2, ftype)
+        object.__setattr__(self, "_sizers", sizers)
 
     @staticmethod
     def of(**members: FieldType) -> "Schema":
@@ -338,13 +365,22 @@ class Schema:
         qualified fields) fall back to the schema-free estimator so byte
         accounting stays consistent end to end.
         """
+        sizers = self._sizers
         total = 2  # record framing
         for name, value in row.items():
-            ftype = self._index.get(name)
-            if ftype is None:
+            entry = sizers.get(name)
+            if entry is None:
                 total += len(name) + 2 + estimate_value_size(value)
-                continue
-            total += len(name) + 2 + ftype.estimated_size(value)
+            elif value is None:
+                total += entry[0] + 1
+            else:
+                tag = entry[1]
+                if tag == 0:
+                    total += entry[2]
+                elif tag == 1:
+                    total += entry[0] + (len(value) or 1)
+                else:
+                    total += entry[0] + entry[2].estimated_size(value)
         return total
 
     def describe(self) -> str:

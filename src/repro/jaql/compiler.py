@@ -292,23 +292,30 @@ class PlanCompiler:
                 table = {}
                 for build_row in build.built_rows():
                     key = tuple(ref.evaluate(build_row) for ref in build_refs)
-                    if any(part is None for part in key):
+                    if None in key:
                         continue
                     table.setdefault(key, []).append(build_row)
                 hash_holder["table"] = table
                 hash_holder["source"] = build.rows
             results: list[Row] = []
+            append = results.append
+            charge_cpu = context.charge_cpu
+            table_get = table.get
             for probe_row in inner_transform(context, row):
-                context.charge_cpu(probe_cpu)
+                charge_cpu(probe_cpu)
                 key = tuple(ref.evaluate(probe_row) for ref in probe_refs)
-                if any(part is None for part in key):
+                if None in key:
                     continue
-                for build_row in table.get(key, ()):  # type: ignore[union-attr]
+                bucket = table_get(key)
+                if bucket is None:
+                    continue
+                for build_row in bucket:
                     merged = {**probe_row, **build_row}
                     if pred_cpu:
-                        context.charge_cpu(pred_cpu)
-                    if all(p.evaluate(merged) for p in predicates):
-                        results.append(merged)
+                        charge_cpu(pred_cpu)
+                    if not predicates or \
+                            all(p.evaluate(merged) for p in predicates):
+                        append(merged)
             return results
 
         return _Stream(
@@ -406,12 +413,14 @@ class PlanCompiler:
                 if source not in side.input_files:
                     continue
                 refs = side_refs[side_index]
+                transform = side.transform
+                emit = context.emit
                 for row in rows:
-                    for out in side.transform(context, row):
+                    for out in transform(context, row):
                         key = tuple(ref.evaluate(out) for ref in refs)
-                        if any(part is None for part in key):
+                        if None in key:
                             continue
-                        context.emit(key, {"s": side_index, "r": out})
+                        emit(key, {"s": side_index, "r": out})
 
         def reducer(context: TaskContext, key: object,
                     values: list[Row]) -> None:
@@ -478,9 +487,10 @@ class PlanCompiler:
 
         def mapper(context: TaskContext, source: str,
                    rows: list[Row]) -> None:
+            emit = context.emit
             for row in rows:
                 for out in transform(context, row):
-                    context.emit(None, out)
+                    emit(None, out)
 
         job = MapReduceJob(
             name=name,

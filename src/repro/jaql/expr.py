@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.data.schema import FieldType, Schema
@@ -36,12 +37,15 @@ class ColumnRef:
     column: str
     steps: tuple[str | int, ...] = ()
 
-    @property
+    @cached_property
     def qualified(self) -> str:
         """The flat field name carrying this column in qualified rows.
 
         An empty alias refers to an *unqualified* field, e.g. an aggregate
-        output column of a previous block.
+        output column of a previous block. Cached: refs are evaluated once
+        per row in every join loop, and re-formatting the name dominates
+        the lookup itself. (``cached_property`` writes straight into
+        ``__dict__``, so it works on this frozen dataclass.)
         """
         if not self.alias:
             return self.column
@@ -49,6 +53,8 @@ class ColumnRef:
 
     def evaluate(self, row: Row) -> Any:
         value = row.get(self.qualified)
+        if not self.steps:
+            return value
         for step in self.steps:
             if value is None:
                 return None
@@ -85,8 +91,22 @@ def qualify_schema(alias: str, schema: Schema) -> Schema:
     )
 
 
+#: Bounded memo of qualified field-name tuples, keyed by (alias, raw field
+#: names). Rows of one table share identical key tuples, so qualification
+#: becomes one cache hit plus a C-level ``dict(zip(...))`` instead of one
+#: string format per field per row.
+_QUALIFIED_NAMES: dict[tuple[str, tuple[str, ...]], tuple[str, ...]] = {}
+_QUALIFIED_NAMES_LIMIT = 4096
+
+
 def qualify_row(alias: str, row: Row) -> Row:
-    return {f"{alias}.{name}": value for name, value in row.items()}
+    cache_key = (alias, tuple(row))
+    names = _QUALIFIED_NAMES.get(cache_key)
+    if names is None:
+        names = tuple(f"{alias}.{name}" for name in row)
+        if len(_QUALIFIED_NAMES) < _QUALIFIED_NAMES_LIMIT:
+            _QUALIFIED_NAMES[cache_key] = names
+    return dict(zip(names, row.values()))
 
 
 # ---------------------------------------------------------------------------

@@ -41,6 +41,19 @@ class TaskStatsCollector:
             )
         self.running.update(row, row_bytes)
 
+    def observe_batch(self, rows: list[Row], row_sizes: list[int]) -> None:
+        """Accumulate one task's output in bulk (same result as per-row).
+
+        ``row_sizes[i]`` is the pre-computed byte size of ``rows[i]`` --
+        the runtime sizes each emitted row exactly once and threads the
+        size through both the byte counters and this collector.
+        """
+        if self._published:
+            raise StatisticsError(
+                f"task {self.task_id} already published its statistics"
+            )
+        self.running.update_batch(rows, row_sizes)
+
     def publish(self) -> None:
         """Task finished: publish partial stats (the 'URL in ZooKeeper')."""
         self._coordination.publish(

@@ -22,16 +22,57 @@ from repro.errors import StatisticsError
 #: Hash domain: 64-bit values, M = 2^64 - 1.
 HASH_DOMAIN = (1 << 64) - 1
 
+#: Bounded memo of blake2b hashes for scalar join keys. Repeated values --
+#: foreign keys during shuffle partitioning, join attributes during online
+#: statistics collection -- dominate the hot loops, and re-digesting them
+#: is pure waste: blake2b of the same canonical bytes is deterministic, so
+#: the cache never changes an emitted hash. Once full, the cache stops
+#: admitting (reads keep hitting), bounding memory like a task would.
+_HASH_CACHE: dict[Any, int] = {}
+_HASH_CACHE_LIMIT = 1 << 16
+
+
+def _cacheable(value: Any) -> bool:
+    """True for values safe to use as memo keys.
+
+    Only exact ``int``/``str`` (and flat tuples of them) qualify: ``bool``
+    and integral ``float`` compare equal to ints but canonicalize
+    differently, so admitting them would poison the memo.
+    """
+    kind = type(value)
+    if kind is int or kind is str:
+        return True
+    if kind is tuple:
+        return all(type(item) is int or type(item) is str for item in value)
+    return False
+
 
 def kmv_hash(value: Any) -> int:
     """Stable 64-bit hash of a JSON-like value.
 
     Uses blake2b so results are reproducible across processes (Python's
     built-in ``hash`` is salted for strings). Lists/dicts are canonicalized.
+    Scalar ints/strings (and flat tuples of them) are memoized in a bounded
+    cache so repeated join keys are digested once per process.
     """
+    if _cacheable(value):
+        cached = _HASH_CACHE.get(value)
+        if cached is not None:
+            return cached
+        encoded = _canonical(value).encode("utf-8", "surrogatepass")
+        digest = hashlib.blake2b(encoded, digest_size=8).digest()
+        hashed = int.from_bytes(digest, "big")
+        if len(_HASH_CACHE) < _HASH_CACHE_LIMIT:
+            _HASH_CACHE[value] = hashed
+        return hashed
     encoded = _canonical(value).encode("utf-8", "surrogatepass")
     digest = hashlib.blake2b(encoded, digest_size=8).digest()
     return int.from_bytes(digest, "big")
+
+
+def clear_hash_cache() -> None:
+    """Drop the scalar hash memo (tests / long-lived processes)."""
+    _HASH_CACHE.clear()
 
 
 def _canonical(value: Any) -> str:
@@ -79,8 +120,32 @@ class KMVSynopsis:
         self._add_hash(kmv_hash(value))
 
     def add_all(self, values: Iterable[Any]) -> None:
+        """Bulk ingest; final state identical to repeated :meth:`add`.
+
+        The loop hoists attribute lookups and fast-rejects hashes that
+        cannot enter a saturated synopsis (``hashed >= h_k`` is either a
+        duplicate of a member or too large to retain), which skips the
+        membership probe for the overwhelming majority of a large stream.
+        """
+        heap = self._heap
+        members = self._members
+        k = self.k
+        heappush = heapq.heappush
+        heapreplace = heapq.heapreplace
         for value in values:
-            self.add(value)
+            if value is None:
+                continue
+            hashed = kmv_hash(value)
+            if len(heap) >= k:
+                largest = -heap[0]
+                if hashed >= largest or hashed in members:
+                    continue
+                members.discard(largest)
+                members.add(hashed)
+                heapreplace(heap, -hashed)
+            elif hashed not in members:
+                members.add(hashed)
+                heappush(heap, -hashed)
 
     def _add_hash(self, hashed: int) -> None:
         if hashed in self._members:
@@ -98,12 +163,35 @@ class KMVSynopsis:
     # -- merge (union of partial synopses, Section 4.3) -------------------------
 
     def merge(self, other: "KMVSynopsis") -> "KMVSynopsis":
-        """Union with another synopsis; result keeps min(k) of the two."""
+        """Union with another synopsis; result keeps min(k) of the two.
+
+        Built in bulk instead of sifting every member through per-hash
+        inserts: any input holding >= k values already bounds the result's
+        k-th minimum by its own maximum, so hashes above the smaller such
+        maximum cannot survive and are filtered out before one C-level
+        sort selects the k smallest. The retained set is identical.
+        """
         merged = KMVSynopsis(min(self.k, other.k))
-        for hashed in self._members:
-            merged._add_hash(hashed)
-        for hashed in other._members:
-            merged._add_hash(hashed)
+        k = merged.k
+        union = self._members | other._members
+        if len(union) > k:
+            cutoff = None
+            if len(self._heap) >= k:
+                cutoff = -self._heap[0]
+            if len(other._heap) >= k:
+                other_max = -other._heap[0]
+                cutoff = other_max if cutoff is None else \
+                    min(cutoff, other_max)
+            candidates = (
+                [hashed for hashed in union if hashed <= cutoff]
+                if cutoff is not None else union
+            )
+            retained = sorted(candidates)[:k]
+        else:
+            retained = list(union)
+        merged._members = set(retained)
+        merged._heap = [-hashed for hashed in retained]
+        heapq.heapify(merged._heap)
         return merged
 
     # -- estimation --------------------------------------------------------------

@@ -364,6 +364,43 @@ class RunningColumn:
             if self.max_value is None or _less(self.max_value, value):
                 self.max_value = value
 
+    def update_many(self, values: list) -> None:
+        """Bulk accumulate; final state identical to per-value update.
+
+        Splits the work into phase loops (nulls, synopsis, count table,
+        min/max) so each loop hoists its attribute lookups; the KMV
+        synopsis ingests through its own bulk path. Non-null relative
+        order is preserved, so the count table's insertion order -- and
+        therefore the overflow point at which it is dropped -- matches
+        the serial accumulator exactly.
+        """
+        self.total_count += len(values)
+        non_null = [value for value in values if value is not None]
+        self.null_count += len(values) - len(non_null)
+        if not non_null:
+            return
+        self.synopsis.add_all(non_null)
+        counts = self.value_counts
+        if counts is not None:
+            limit = self.MAX_EXACT_VALUES
+            get = counts.get
+            for value in non_null:
+                key = _count_key(value)
+                counts[key] = get(key, 0) + 1
+                if len(counts) > limit:
+                    self.value_counts = None
+                    break
+        min_value = self.min_value
+        max_value = self.max_value
+        for value in non_null:
+            if _comparable(value):
+                if min_value is None or _less(value, min_value):
+                    min_value = value
+                if max_value is None or _less(max_value, value):
+                    max_value = value
+        self.min_value = min_value
+        self.max_value = max_value
+
     def distinct_count(self) -> float:
         if self.value_counts is not None:
             return float(len(self.value_counts))
@@ -492,6 +529,31 @@ class RunningStats:
                 column.update(None)
             else:
                 column.update(tuple(values))
+
+    def update_batch(self, rows: list[Row], row_sizes: list[int]) -> None:
+        """Bulk accumulate one task's rows; same result as per-row update.
+
+        Column values are gathered per column first so every
+        :class:`RunningColumn` ingests through its bulk path.
+        """
+        if not rows:
+            return
+        self.row_count += len(rows)
+        self.size_bytes += sum(row_sizes)
+        for name, column in self.columns.items():
+            parts = self._parts.get(name)
+            if parts is None:
+                column.update_many([row.get(name) for row in rows])
+                continue
+            values: list = []
+            append = values.append
+            for row in rows:
+                members = [row.get(part) for part in parts]
+                if all(member is None for member in members):
+                    append(None)
+                else:
+                    append(tuple(members))
+            column.update_many(values)
 
     def merge(self, other: "RunningStats") -> "RunningStats":
         if set(self.columns) != set(other.columns):

@@ -9,6 +9,7 @@ simulator's I/O accounting is consistent end to end.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -92,7 +93,13 @@ class DFSFile:
 
 
 class DistributedFileSystem:
-    """Namespace of :class:`DFSFile` objects plus byte accounting."""
+    """Namespace of :class:`DFSFile` objects plus byte accounting.
+
+    Byte accounting is lock-protected: the data passes of concurrently
+    executing jobs (``repro.cluster.parallel``) read splits from worker
+    threads, and ``int`` read-modify-write is not atomic under free
+    threading. Namespace *writes* stay driver-only by construction.
+    """
 
     def __init__(self, block_size_bytes: int = 64 * 1024):
         if block_size_bytes <= 0:
@@ -101,6 +108,7 @@ class DistributedFileSystem:
         self._files: dict[str, DFSFile] = {}
         self.bytes_written = 0
         self.bytes_read = 0
+        self._accounting_lock = threading.Lock()
 
     # -- namespace operations -------------------------------------------------
 
@@ -126,7 +134,8 @@ class DistributedFileSystem:
             raise StorageError(f"file already exists: {name!r}")
         dfs_file = DFSFile(name, schema, list(rows), self.block_size_bytes)
         self._files[name] = dfs_file
-        self.bytes_written += dfs_file.size_bytes
+        with self._accounting_lock:
+            self.bytes_written += dfs_file.size_bytes
         return dfs_file
 
     def open(self, name: str) -> DFSFile:
@@ -144,12 +153,14 @@ class DistributedFileSystem:
 
     def read_split(self, split: Split) -> list[Row]:
         rows = self.open(split.file_name).split_rows(split)
-        self.bytes_read += split.size_bytes
+        with self._accounting_lock:
+            self.bytes_read += split.size_bytes
         return rows
 
     def read_all(self, name: str) -> list[Row]:
         dfs_file = self.open(name)
-        self.bytes_read += dfs_file.size_bytes
+        with self._accounting_lock:
+            self.bytes_read += dfs_file.size_bytes
         return list(dfs_file.rows)
 
     def file_size(self, name: str) -> int:

@@ -6,6 +6,7 @@ from repro.config import (
     DEFAULT_CONFIG,
     ClusterConfig,
     DynoConfig,
+    ExecutorConfig,
     OptimizerConfig,
     PilotConfig,
 )
@@ -67,6 +68,38 @@ class TestBackendSwitch:
 
     def test_default_reoptimizes_every_job(self):
         assert DynoConfig().reoptimize_every_job
+
+
+class TestExecutorConfig:
+    def test_serial_by_default(self):
+        assert not DEFAULT_CONFIG.executor.parallel_jobs
+
+    def test_with_parallel_execution(self):
+        config = DEFAULT_CONFIG.with_parallel_execution(
+            pool="process", max_workers=3
+        )
+        assert config.executor.parallel_jobs
+        assert config.executor.pool == "process"
+        assert config.executor.max_workers == 3
+        # everything else is untouched
+        assert config.cluster == DEFAULT_CONFIG.cluster
+        assert not DEFAULT_CONFIG.executor.parallel_jobs  # original intact
+
+    def test_can_toggle_off(self):
+        config = DEFAULT_CONFIG.with_parallel_execution()
+        assert not config.with_parallel_execution(
+            enabled=False
+        ).executor.parallel_jobs
+
+    def test_unknown_pool_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(pool="fork-bomb")
+
+    def test_bad_worker_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(max_workers=0)
+        with pytest.raises(ValueError):
+            ExecutorConfig(min_parallel_jobs=1)
 
 
 class TestCalibration:

@@ -5,7 +5,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import StatisticsError
-from repro.stats.kmv import HASH_DOMAIN, KMVSynopsis, kmv_hash
+from repro.stats.kmv import (
+    HASH_DOMAIN,
+    KMVSynopsis,
+    clear_hash_cache,
+    kmv_hash,
+)
 
 
 class TestHash:
@@ -30,6 +35,31 @@ class TestHash:
     def test_unhashable_type_rejected(self):
         with pytest.raises(StatisticsError):
             kmv_hash(object())
+
+    def test_memo_cache_preserves_type_distinctions(self):
+        """The scalar memo must never conflate equal-but-distinct keys.
+
+        ``True == 1`` and ``3.0 == 3`` as dict keys, yet bools canonicalize
+        differently from ints; only exact int/str values are admitted, so a
+        cached int hash can never be served for a bool (and vice versa).
+        """
+        clear_hash_cache()
+        int_hash = kmv_hash(1)  # warms the cache for the int key
+        assert kmv_hash(True) != int_hash
+        assert kmv_hash(1) == int_hash
+        clear_hash_cache()
+        bool_hash = kmv_hash(True)
+        assert kmv_hash(1) != bool_hash
+        assert kmv_hash(3) == kmv_hash(3.0)  # float path bypasses the cache
+
+    def test_memo_cache_hits_match_cold_hashes(self):
+        values = ["a", "b", 42, ("x", 7), 42, "a", ("x", 7)]
+        clear_hash_cache()
+        first = [kmv_hash(v) for v in values]
+        second = [kmv_hash(v) for v in values]  # served from the memo
+        assert first == second
+        clear_hash_cache()
+        assert [kmv_hash(v) for v in values] == first
 
 
 class TestSynopsis:
@@ -79,6 +109,27 @@ class TestSynopsis:
 
 
 class TestMerge:
+    def test_bulk_merge_snapshot_matches_per_hash_reference(self):
+        """Regression for the nsmallest-based bulk merge: the retained set
+        must equal what per-hash insertion of both snapshots produces."""
+        left, right = KMVSynopsis(64), KMVSynopsis(64)
+        left.add_all(range(2000))
+        right.add_all(f"s{i}" for i in range(2000))
+        merged = left.merge(right)
+        reference = KMVSynopsis(64)
+        for hashed in left.snapshot() + right.snapshot():
+            reference._add_hash(hashed)
+        assert merged.snapshot() == reference.snapshot()
+        assert merged.estimate() == reference.estimate()
+
+    def test_bulk_merge_below_saturation(self):
+        left, right = KMVSynopsis(64), KMVSynopsis(64)
+        left.add_all(range(10))
+        right.add_all(range(5, 20))
+        merged = left.merge(right)
+        assert merged.estimate() == 20.0
+        assert len(merged.snapshot()) == 20
+
     def test_merge_equals_union(self):
         left = KMVSynopsis(128)
         right = KMVSynopsis(128)
