@@ -58,6 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--parallel", action="store_true",
                         help="run dependency-free leaf jobs on a worker "
                              "pool (results identical to serial execution)")
+    parser.add_argument("--fault-plan", metavar="PATH",
+                        help="arm a JSON fault plan (see docs/testing.md): "
+                             "inject deterministic task/job failures, "
+                             "stragglers and node losses; results are "
+                             "identical to a fault-free run")
     parser.add_argument("--explain", action="store_true",
                         help="plan only; do not execute the query")
     parser.add_argument("--show-plans", action="store_true",
@@ -100,6 +105,17 @@ def main(argv: list[str] | None = None,
     config = DEFAULT_CONFIG.with_backend(args.backend)
     if args.parallel:
         config = config.with_parallel_execution()
+    if args.fault_plan:
+        from repro.cluster.faults import FaultPlan
+        try:
+            with open(args.fault_plan) as handle:
+                plan = FaultPlan.from_json(handle.read())
+        except (OSError, DynoError) as error:
+            print(f"error: cannot load fault plan: {error}", file=out)
+            return 1
+        config = config.with_fault_plan(plan)
+        print(f"armed fault plan {plan.name or '<unnamed>'} "
+              f"(seed {plan.seed})", file=out)
     dyno = Dyno(dataset.tables, config=config,
                 udfs=workload.udfs if workload else None)
 
@@ -134,6 +150,10 @@ def main(argv: list[str] | None = None,
     except DynoError as error:
         print(f"error: {error}", file=out)
         return 1
+
+    injector = dyno.runtime.fault_injector
+    if injector is not None:
+        print(f"\nfault injection: {injector.summary()}", file=out)
 
     if args.save_stats:
         dyno.save_statistics(args.save_stats)

@@ -161,3 +161,13 @@ class MapReduceJob:
     @property
     def is_map_only(self) -> bool:
         return self.reducer is None
+
+    @property
+    def is_broadcast_join(self) -> bool:
+        """True when tasks load broadcast build sides into memory.
+
+        These are the jobs a :class:`repro.cluster.faults.FaultPlan` may
+        doom permanently (no-spill broadcast builds are the fragile
+        operator of Section 2.2.1), forcing the executor to replan.
+        """
+        return bool(self.broadcast_builds)

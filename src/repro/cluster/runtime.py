@@ -19,12 +19,14 @@ from __future__ import annotations
 
 import random
 from collections import defaultdict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.cluster.coordination import CoordinationService
 from repro.cluster.costmodel import ClusterCostModel, TaskWork
 from repro.cluster.counters import Counters
+from repro.cluster.faults import FaultInjector, JobAttempt
 from repro.cluster.job import MapReduceJob, TaskContext, estimate_value_size
 from repro.cluster.parallel import (
     JobSkipped,
@@ -39,8 +41,17 @@ from repro.cluster.scheduler import (
 )
 from repro.config import DynoConfig
 from repro.data.table import Row
-from repro.errors import BroadcastBuildOverflowError, JobError
-from repro.stats.collector import TaskStatsCollector, merge_published_stats
+from repro.errors import (
+    BroadcastBuildOverflowError,
+    JobError,
+    JobFaultInjectedError,
+    TaskRetriesExhaustedError,
+)
+from repro.stats.collector import (
+    TaskStatsCollector,
+    merge_published_stats,
+    stats_scope,
+)
 from repro.stats.kmv import kmv_hash
 from repro.stats.statistics import TableStats
 from repro.storage.dfs import DistributedFileSystem, Split
@@ -129,8 +140,16 @@ class ClusterRuntime:
             config.cluster.total_map_slots,
             config.cluster.total_reduce_slots,
             policy=config.cluster.scheduler_policy,
+            speculative=config.cluster.speculative_execution,
+            speculative_threshold=config.cluster.speculative_slowdown_threshold,
         )
         self._parallel = ParallelJobExecutor(config.executor)
+        #: armed fault schedule, or None -- with no plan armed the fault
+        #: machinery is entirely off the data-path hot loop.
+        self.fault_injector: FaultInjector | None = None
+        if config.fault_plan is not None and config.fault_plan.injects_anything:
+            self.fault_injector = config.fault_plan.arm()
+        self._faults_suspended = 0
         #: cumulative simulated time of everything executed through
         #: :meth:`execute` / :meth:`execute_batch`.
         self.clock_seconds = 0.0
@@ -139,6 +158,27 @@ class ClusterRuntime:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+
+    @contextmanager
+    def suspended_faults(self):
+        """Temporarily disable fault injection (re-entrant).
+
+        Pilot runs execute inside this context: they happen before the
+        "real" query starts, and keeping them fault-free guarantees that
+        leaf statistics -- and therefore the optimizer's first plan -- are
+        identical between a faulted and a fault-free run, which is what
+        the differential oracle checks.
+        """
+        self._faults_suspended += 1
+        try:
+            yield
+        finally:
+            self._faults_suspended -= 1
+
+    def _active_injector(self) -> FaultInjector | None:
+        if self._faults_suspended or self.fault_injector is None:
+            return None
+        return self.fault_injector
 
     def execute(self, job: MapReduceJob,
                 gate: DispatchGate | None = None) -> JobResult:
@@ -197,13 +237,19 @@ class ClusterRuntime:
                         job, gates.get(job.name)
                     )
 
-        # Time pass: schedule all tasks over the shared slot pools.
+        # Time pass: schedule all tasks over the shared slot pools. Retry
+        # backoff accumulated during the data pass is charged as extra
+        # startup time: the job existed, waited, and was resubmitted.
+        injector = self._active_injector()
+        base_startup = self.config.cluster.job_startup_seconds
         scheduled = [
             ScheduledJob(
                 job_id=job.name,
                 map_durations=results[job.name].map_task_seconds,
                 reduce_durations=results[job.name].reduce_task_seconds,
-                startup_seconds=self.config.cluster.job_startup_seconds,
+                startup_seconds=base_startup + (
+                    injector.consume_penalty(job.name) if injector else 0.0
+                ),
                 depends_on=list(dependencies.get(job.name, [])),
             )
             for job in jobs
@@ -262,22 +308,35 @@ class ClusterRuntime:
             read_bytes, loaded_records, num_map_tasks, self.config.backend
         )
 
-    def _task_attempts(self, job_name: str):
-        """Deterministic per-job failure injector.
+    def _task_attempts(self, job_name: str,
+                       attempt: JobAttempt | None = None):
+        """Deterministic per-job task failure/straggler injector.
 
-        Returns a callable mapping one attempt's duration to the total
-        duration including retried attempts (a failed attempt re-executes
-        from scratch, like Hadoop's task retry).
+        Returns a callable mapping one task attempt's duration to the
+        total duration including retried attempts (a failed attempt
+        re-executes from scratch, like Hadoop's task retry). A task that
+        burns through ``max_task_attempts`` kills the job with
+        :class:`TaskRetriesExhaustedError` -- Hadoop's
+        mapred.*.max.attempts semantics.
         """
-        rate = self.config.cluster.task_failure_rate
+        cluster = self.config.cluster
+        if attempt is not None:
+            return attempt.task_inflater(cluster.max_task_attempts,
+                                         cluster.task_startup_seconds)
+        rate = cluster.task_failure_rate
         if rate <= 0.0:
             return lambda seconds: seconds
         rng = random.Random(f"failures/{job_name}")
+        max_attempts = cluster.max_task_attempts
 
         def with_retries(seconds: float) -> float:
             total = seconds
+            failures = 0
             while rng.random() < rate:
-                total += seconds + self.config.cluster.task_startup_seconds
+                failures += 1
+                if failures >= max_attempts:
+                    raise TaskRetriesExhaustedError(job_name, max_attempts)
+                total += seconds + cluster.task_startup_seconds
             return total
 
         return with_retries
@@ -286,8 +345,43 @@ class ClusterRuntime:
                       gate: DispatchGate | None) -> JobResult:
         return self._finalize_job(job, self._job_data_pass(job, gate))
 
+    def _retry_backoff_seconds(self, failed_attempts: int) -> float:
+        cluster = self.config.cluster
+        backoff = cluster.job_retry_backoff_seconds * \
+            (2.0 ** (failed_attempts - 1))
+        return min(backoff, cluster.job_retry_backoff_cap_seconds)
+
     def _job_data_pass(self, job: MapReduceJob,
                        gate: DispatchGate | None) -> "_JobDataPass":
+        """Data pass with whole-job fault injection and bounded retries.
+
+        Transient injected job faults (:class:`JobFaultInjectedError`) are
+        retried here -- *inside* the per-job callable the parallel
+        executor runs -- so serial and parallel execution recover
+        identically. Each retry is a fresh incarnation (fresh fault
+        draws, partial published stats cleared) and charges capped
+        exponential backoff to the job's simulated startup time.
+        """
+        injector = self._active_injector()
+        if injector is None:
+            return self._run_data_pass(job, gate, None)
+        failed_attempts = 0
+        while True:
+            attempt = injector.begin_attempt(job)
+            try:
+                return self._run_data_pass(job, gate, attempt)
+            except JobFaultInjectedError:
+                failed_attempts += 1
+                if failed_attempts >= self.config.cluster.max_job_attempts:
+                    raise
+                # A re-run re-publishes its partial statistics from
+                # scratch; drop the dead attempt's entries first.
+                self.coordination.clear_scope(stats_scope(job.name))
+                injector.add_penalty(
+                    job.name, self._retry_backoff_seconds(failed_attempts))
+
+    def _run_data_pass(self, job: MapReduceJob, gate: DispatchGate | None,
+                       attempt: JobAttempt | None) -> "_JobDataPass":
         """Everything except DFS output writes and the client-side stats
         merge -- safe to run off the driver thread (see cluster.parallel).
 
@@ -296,8 +390,10 @@ class ClusterRuntime:
         shuffle, and reaches the statistics collector -- the seed sized
         the same row up to three times.
         """
+        if attempt is not None:
+            attempt.boundary("map")
         counters = Counters()
-        attempts = self._task_attempts(job.name)
+        attempts = self._task_attempts(job.name, attempt)
         splits = job.splits if job.splits is not None else self._all_splits(job)
         splits_total = len(splits)
 
@@ -362,11 +458,18 @@ class ClusterRuntime:
 
         reduce_task_seconds: list[float] = []
         if not job.is_map_only:
+            if attempt is not None:
+                attempt.boundary("reduce")
             output_rows = self._run_reduce_phase(
                 job, map_outputs, counters, reduce_task_seconds,
                 stat_tasks, attempts,
             )
 
+        if attempt is not None:
+            # Fired at the end of the (worker-side) data pass, modeling a
+            # failure while committing the job -- the driver-side finalize
+            # itself stays deterministic for the parallel executor.
+            attempt.boundary("finalize")
         return _JobDataPass(
             counters=counters,
             output_rows=output_rows,

@@ -18,9 +18,42 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.errors import JobError
+
+
+def plan_speculative_backups(durations: list[float],
+                             threshold: float,
+                             ) -> tuple[list[float], list[float]]:
+    """Model Hadoop's speculative execution over one job's task durations.
+
+    A task whose duration exceeds ``threshold x median + median`` gets a
+    backup copy launched at the threshold point; the backup (running at
+    median speed) wins, so the task's *effective* duration is capped at
+    ``threshold x median + median``. The backup copy itself still occupies
+    a slot for ``median`` seconds -- returned separately as a "phantom"
+    task that consumes cluster capacity without gating job completion.
+
+    Returns ``(effective_durations, phantom_durations)``. With fewer than
+    3 tasks there is no meaningful median and nothing is speculated.
+    """
+    if len(durations) < 3:
+        return list(durations), []
+    ordered = sorted(durations)
+    median = ordered[len(ordered) // 2]
+    if median <= 0.0:
+        return list(durations), []
+    cap = threshold * median + median
+    effective: list[float] = []
+    phantoms: list[float] = []
+    for duration in durations:
+        if duration > cap:
+            effective.append(cap)
+            phantoms.append(median)
+        else:
+            effective.append(duration)
+    return effective, phantoms
 
 
 @dataclass
@@ -69,20 +102,21 @@ class _TaskQueue:
 
     def __init__(self, policy: str):
         self._policy = policy
-        self._fifo: deque[tuple[str, float]] = deque()
-        self._per_job: dict[str, deque[float]] = {}
+        self._fifo: deque[tuple[str, float, str]] = deque()
+        self._per_job: dict[str, deque[tuple[float, str]]] = {}
         self._rotation: deque[str] = deque()
 
-    def push(self, job_id: str, duration: float) -> None:
+    def push(self, job_id: str, duration: float,
+             kind: str = "task") -> None:
         if self._policy == POLICY_FIFO:
-            self._fifo.append((job_id, duration))
+            self._fifo.append((job_id, duration, kind))
             return
         if job_id not in self._per_job:
             self._per_job[job_id] = deque()
             self._rotation.append(job_id)
-        self._per_job[job_id].append(duration)
+        self._per_job[job_id].append((duration, kind))
 
-    def pop(self) -> tuple[str, float]:
+    def pop(self) -> tuple[str, float, str]:
         if self._policy == POLICY_FIFO:
             return self._fifo.popleft()
         # Fair: serve the next job in the rotation that has tasks left.
@@ -91,11 +125,11 @@ class _TaskQueue:
             self._rotation.rotate(-1)
             tasks = self._per_job[job_id]
             if tasks:
-                duration = tasks.popleft()
+                duration, kind = tasks.popleft()
                 if not tasks:
                     del self._per_job[job_id]
                     self._rotation.remove(job_id)
-                return job_id, duration
+                return job_id, duration, kind
             del self._per_job[job_id]
             self._rotation.remove(job_id)
 
@@ -115,19 +149,25 @@ class SlotScheduler:
     """
 
     def __init__(self, map_slots: int, reduce_slots: int,
-                 policy: str = POLICY_FIFO):
+                 policy: str = POLICY_FIFO, speculative: bool = False,
+                 speculative_threshold: float = 3.0):
         if map_slots <= 0 or reduce_slots <= 0:
             raise JobError("slot counts must be positive")
         if policy not in (POLICY_FIFO, POLICY_FAIR):
             raise JobError(f"unknown scheduling policy: {policy!r}")
+        if speculative_threshold <= 1.0:
+            raise JobError("speculative_slowdown_threshold must be > 1.0")
         self.map_slots = map_slots
         self.reduce_slots = reduce_slots
         self.policy = policy
+        self.speculative = speculative
+        self.speculative_threshold = speculative_threshold
 
     def schedule(self, jobs: list[ScheduledJob]) -> ScheduleResult:
         """Simulate ``jobs`` sharing the cluster; returns per-job timelines."""
         if not jobs:
             return ScheduleResult({}, 0.0)
+        jobs = self._apply_speculation(jobs)
         by_id = {job.job_id: job for job in jobs}
         if len(by_id) != len(jobs):
             raise JobError("duplicate job ids in batch")
@@ -181,10 +221,8 @@ class SlotScheduler:
             if not job.depends_on:
                 arm_job(job.job_id, job.submit_time)
 
-        makespan = 0.0
         while events:
             now = events[0][0]
-            makespan = max(makespan, now)
             # Process every event at this instant before dispatching, so
             # simultaneously-started jobs compete for slots under the
             # policy rather than in event order.
@@ -204,7 +242,36 @@ class SlotScheduler:
             raise JobError(
                 f"dependency cycle or unscheduled jobs: {unreached}"
             )
+        # Makespan is when the last *job* finishes; a speculative backup
+        # copy releasing its slot later does not extend the batch.
+        makespan = max(t.finish_time for t in timelines.values())
         return ScheduleResult(timelines, makespan)
+
+    def _apply_speculation(self,
+                           jobs: list[ScheduledJob]) -> list[ScheduledJob]:
+        """Cap straggling task durations; stash backup-copy phantom tasks.
+
+        Populates ``self._phantom_maps`` / ``self._phantom_reduces`` for
+        the current ``schedule()`` call; phantoms occupy slots (they are
+        real backup copies burning capacity) but never gate completion.
+        """
+        self._phantom_maps: dict[str, list[float]] = {}
+        self._phantom_reduces: dict[str, list[float]] = {}
+        if not self.speculative:
+            return jobs
+        speculated: list[ScheduledJob] = []
+        for job in jobs:
+            map_eff, map_backups = plan_speculative_backups(
+                job.map_durations, self.speculative_threshold)
+            reduce_eff, reduce_backups = plan_speculative_backups(
+                job.reduce_durations, self.speculative_threshold)
+            if map_backups or reduce_backups:
+                job = replace(job, map_durations=map_eff,
+                              reduce_durations=reduce_eff)
+                self._phantom_maps[job.job_id] = map_backups
+                self._phantom_reduces[job.job_id] = reduce_backups
+            speculated.append(job)
+        return speculated
 
     def _handle_event(self, event, by_id, timelines, remaining_maps,
                       remaining_reduces, map_queue, reduce_queue,
@@ -220,7 +287,9 @@ class SlotScheduler:
                     finish_job(job_id, now)
                 return
             for duration in job.map_durations:
-                map_queue.push(job_id, duration)
+                map_queue.push(job_id, duration, "map_done")
+            for duration in self._phantom_maps.get(job_id, ()):
+                map_queue.push(job_id, duration, "spec_map_done")
         elif kind == "map_done":
             self._freed_map += 1
             remaining_maps[job_id] -= 1
@@ -229,7 +298,10 @@ class SlotScheduler:
                 job = by_id[job_id]
                 if job.reduce_durations:
                     for duration in job.reduce_durations:
-                        reduce_queue.push(job_id, duration)
+                        reduce_queue.push(job_id, duration, "reduce_done")
+                    for duration in self._phantom_reduces.get(job_id, ()):
+                        reduce_queue.push(job_id, duration,
+                                          "spec_reduce_done")
                 else:
                     finish_job(job_id, now)
         elif kind == "reduce_done":
@@ -237,6 +309,11 @@ class SlotScheduler:
             remaining_reduces[job_id] -= 1
             if remaining_reduces[job_id] == 0:
                 finish_job(job_id, now)
+        elif kind == "spec_map_done":
+            # Backup copy of a straggling map task released its slot.
+            self._freed_map += 1
+        elif kind == "spec_reduce_done":
+            self._freed_reduce += 1
         else:  # pragma: no cover - defensive
             raise JobError(f"unknown event kind: {kind!r}")
 
@@ -248,11 +325,11 @@ class SlotScheduler:
         self._freed_map = 0
         self._freed_reduce = 0
         while free_map > 0 and map_queue:
-            job_id, duration = map_queue.pop()
+            job_id, duration, kind = map_queue.pop()
             free_map -= 1
-            push_event(now + duration, "map_done", job_id)
+            push_event(now + duration, kind, job_id)
         while free_reduce > 0 and reduce_queue:
-            job_id, duration = reduce_queue.pop()
+            job_id, duration, kind = reduce_queue.pop()
             free_reduce -= 1
-            push_event(now + duration, "reduce_done", job_id)
+            push_event(now + duration, kind, job_id)
         return free_map, free_reduce

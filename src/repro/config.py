@@ -19,6 +19,10 @@ The defaults reproduce the paper's setup:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.faults import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -81,6 +85,25 @@ class ClusterConfig:
     #: retry-on-failure; the checkpointing the paper leans on in Section 1
     #: makes retries cheap). Deterministic per job. 0.0 disables.
     task_failure_rate: float = 0.0
+    #: attempt budget per task (Hadoop's mapred.*.max.attempts, default 4).
+    #: A task that fails this many times kills its job with
+    #: :class:`repro.errors.TaskRetriesExhaustedError`.
+    max_task_attempts: int = 4
+    #: how often the runtime retries a whole job that died from a
+    #: *transient* injected fault before giving up.
+    max_job_attempts: int = 4
+    #: exponential backoff between whole-job retries (simulated seconds,
+    #: charged as extra startup time in the slot schedule):
+    #: ``min(base * 2**(attempt-1), cap)``.
+    job_retry_backoff_seconds: float = 4.0
+    job_retry_backoff_cap_seconds: float = 64.0
+    #: launch speculative backup copies of straggling tasks (Hadoop's
+    #: speculative execution). Off by default, matching the paper's
+    #: Hadoop 1.1.1 setup; the fault-injection tests turn it on.
+    speculative_execution: bool = False
+    #: a task is a straggler candidate once its duration exceeds this
+    #: multiple of the job's median task duration.
+    speculative_slowdown_threshold: float = 3.0
 
     @property
     def total_map_slots(self) -> int:
@@ -197,6 +220,12 @@ class DynoConfig:
     #: threshold on |observed - estimated| / estimated cardinality beyond
     #: which re-optimization triggers when the every-job policy is off.
     reoptimization_threshold: float = 0.5
+    #: armed fault schedule, or None (the default: no fault machinery on
+    #: the hot path at all). See :class:`repro.cluster.faults.FaultPlan`.
+    fault_plan: "FaultPlan | None" = None
+    #: how many times the dynamic executor may replan around a permanent
+    #: job failure (e.g. a doomed broadcast join) before re-raising.
+    max_recovery_replans: int = 8
 
     def with_backend(self, backend: str) -> "DynoConfig":
         if backend not in ("jaql", "hive"):
@@ -216,6 +245,16 @@ class DynoConfig:
                          else self.executor.max_workers),
         )
         return replace(self, executor=executor)
+
+    def with_fault_plan(self, plan: "FaultPlan | None") -> "DynoConfig":
+        """Config with a fault schedule armed (or disarmed with None)."""
+        if plan is not None:
+            from repro.cluster.faults import FaultPlan
+            if not isinstance(plan, FaultPlan):
+                raise ValueError(
+                    f"fault_plan must be a FaultPlan, got "
+                    f"{type(plan).__name__}")
+        return replace(self, fault_plan=plan)
 
 
 DEFAULT_CONFIG = DynoConfig()

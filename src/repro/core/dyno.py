@@ -301,7 +301,7 @@ class Dyno:
                     f"{extracted.spec.name}.stage",
                 )
                 compiled = compiler.compile_group_by(current_file, stage)
-                batch = self.runtime.execute_batch([compiled.job])
+                batch = self._execute_stage_job(compiled.job, execution)
                 execution.stage_seconds += batch.makespan
                 current_file = compiled.job.output_name
             elif isinstance(stage, OrderBy):
@@ -323,6 +323,27 @@ class Dyno:
                     f"unsupported stage {type(stage).__name__}"
                 )
         return self._client_rows(current_file, rows)
+
+    def _execute_stage_job(self, job, execution: QueryExecution):
+        """Run one post-join stage job, retrying injected permanent kills.
+
+        Stage jobs have no alternative plan to fall back to, so a
+        ``TaskRetriesExhaustedError`` under fault injection is handled by
+        resubmitting the job (a fresh incarnation draws fresh faults), up
+        to the cluster's ``max_job_attempts``.
+        """
+        from repro.errors import TaskRetriesExhaustedError
+        from repro.stats.collector import stats_scope
+
+        attempts = 0
+        while True:
+            try:
+                return self.runtime.execute_batch([job])
+            except TaskRetriesExhaustedError:
+                attempts += 1
+                if attempts >= self.config.cluster.max_job_attempts:
+                    raise
+                self.runtime.coordination.clear_scope(stats_scope(job.name))
 
     def _client_rows(self, current_file: str,
                      rows: list[Row] | None) -> list[Row]:

@@ -16,13 +16,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.cluster.job import MapReduceJob
 from repro.cluster.runtime import ClusterRuntime, JobResult
 from repro.config import DynoConfig
-from repro.errors import PlanError
+from repro.errors import (
+    BroadcastBuildOverflowError,
+    JobFaultInjectedError,
+    PlanError,
+    StorageError,
+    TaskRetriesExhaustedError,
+)
 from repro.jaql.blocks import JoinBlock
 from repro.jaql.compiler import CompiledJob, PlanCompiler
 from repro.optimizer.plans import PhysicalNode, plan_signature, render_plan
 from repro.optimizer.search import JoinOptimizer
+from repro.stats.collector import stats_scope
 from repro.stats.metastore import StatisticsMetastore
 from repro.stats.statistics import TableStats
 from repro.core.pilot import (
@@ -35,6 +43,29 @@ from repro.core.strategies import ExecutionStrategy, strategy_named
 
 MODE_DYNOPT = "dynopt"
 MODE_SIMPLE = "simple"
+
+#: failures the dynamic loop treats as *permanent* for the failing plan:
+#: the job cannot succeed as compiled, so the executor replans around it
+#: (Section 1's "route around the failure" argument) instead of aborting.
+PERMANENT_JOB_FAILURES = (
+    TaskRetriesExhaustedError,
+    BroadcastBuildOverflowError,
+    JobFaultInjectedError,
+)
+
+
+@dataclass
+class _RecoveryState:
+    """Per-block recovery bookkeeping for the dynamic executor."""
+
+    #: alias sets whose broadcast join failed permanently; fed back into
+    #: the optimizer so replanning falls back to repartition joins.
+    banned_broadcast: frozenset = frozenset()
+    #: replans consumed against ``DynoConfig.max_recovery_replans``.
+    replans: int = 0
+    #: materialized output -> the job that produced it. Node-loss recovery
+    #: re-runs exactly this sub-plan (transitively through lost inputs).
+    provenance: dict[str, MapReduceJob] = field(default_factory=dict)
 
 
 @dataclass
@@ -68,6 +99,13 @@ class BlockExecutionResult:
     pilot_seconds: float = 0.0
     optimizer_seconds: float = 0.0
     execution_seconds: float = 0.0
+    #: --- fault recovery bookkeeping (empty on fault-free runs) ---
+    #: jobs re-executed because a node loss deleted their output.
+    recovered_jobs: list[str] = field(default_factory=list)
+    #: materialized outputs deleted by injected node-loss events.
+    lost_outputs: list[str] = field(default_factory=list)
+    #: permanent job failures the executor replanned around.
+    replanned_failures: list[str] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -154,21 +192,34 @@ class DynoptExecutor:
         is *conditional* (Section 5.1): the current job graph keeps
         executing as long as each job's observed output cardinality stays
         within ``reoptimization_threshold`` of its estimate.
+
+        This loop is also where failures recover (Section 1: materialized
+        checkpoints make re-optimization fault-tolerant). A *permanent*
+        job failure (task retries exhausted, broadcast build overflow)
+        discards the current graph and re-optimizes -- with the failed
+        broadcast's alias set banned, so the replan falls back to a
+        repartition join. A *lost* intermediate relation (node loss) is
+        rebuilt by re-running just its producing sub-plan, found through
+        the provenance map.
         """
+        recovery = _RecoveryState()
         iteration = 0
         while True:
             finished = self._finished_output(block)
             if finished is not None:
+                self._ensure_relations([finished], recovery, result)
                 result.output_file = finished
                 return
 
-            optimization = self._optimize(block)
+            optimization = self._optimize(block, recovery.banned_broadcast)
             result.optimizer_seconds += optimization.simulated_seconds
             result.plans.append(optimization.plan)
 
             compiler = self._compiler(f"{block.name}.it{iteration}")
             graph = compiler.compile_block(optimization.plan)
             if graph.trivial:
+                self._ensure_relations([graph.final_output], recovery,
+                                       result)
                 result.output_file = graph.final_output
                 return
 
@@ -189,9 +240,18 @@ class DynoptExecutor:
                             block, chosen, compiled
                         )
 
-                batch = self.runtime.execute_batch(
-                    [c.job for c in chosen]
+                self._ensure_relations(
+                    self._required_inputs([c.job for c in chosen]),
+                    recovery, result,
                 )
+                try:
+                    batch = self.runtime.execute_batch(
+                        [c.job for c in chosen]
+                    )
+                except PERMANENT_JOB_FAILURES as failure:
+                    self._replan_around_failure(failure, chosen, recovery,
+                                                result)
+                    break  # back to the optimizer; the block is unchanged
                 result.execution_seconds += batch.makespan
                 stats_records = sum(
                     batch[c.name].output_rows for c in chosen
@@ -214,14 +274,95 @@ class DynoptExecutor:
                 surprised = False
                 for compiled in chosen:
                     job_result = batch[compiled.name]
+                    recovery.provenance[compiled.job.output_name] = \
+                        compiled.job
                     block = self._substitute(block, compiled, job_result)
                     completed.add(compiled.name)
                     if self._estimate_missed(compiled, job_result):
                         surprised = True
+                # A node loss may eat any freshly materialized output;
+                # recovery happens lazily, when something needs it again.
+                self._inject_node_losses([c.job for c in chosen], result)
                 if len(completed) == graph.job_count:
                     break
                 if self.config.reoptimize_every_job or surprised:
                     break  # back to the optimizer with fresh statistics
+
+    # -- fault recovery ---------------------------------------------------------------
+
+    def _replan_around_failure(self, failure: Exception,
+                               chosen: list[CompiledJob],
+                               recovery: _RecoveryState,
+                               result: BlockExecutionResult) -> None:
+        """A job of the current graph failed permanently: replan.
+
+        The executed part of the block is already substituted (its
+        checkpoints are safe in the DFS); only the *remaining* block is
+        re-optimized. A failed broadcast join additionally bans its alias
+        set, so the optimizer's next plan repartitions that join instead
+        -- the paper's "re-optimization routes around the failure".
+        """
+        recovery.replans += 1
+        if recovery.replans > self.config.max_recovery_replans:
+            raise failure
+        job_name = getattr(failure, "job_name", "")
+        failed = next((c for c in chosen if c.name == job_name), None)
+        if failed is not None and failed.job.is_broadcast_join:
+            recovery.banned_broadcast = recovery.banned_broadcast | \
+                {frozenset(failed.output_aliases)}
+        result.replanned_failures.append(
+            f"{job_name or '<batch>'}: {type(failure).__name__}")
+        # The dead batch may have published partial statistics; replanned
+        # jobs can reuse the same names and must publish from scratch.
+        for compiled in chosen:
+            self.runtime.coordination.clear_scope(
+                stats_scope(compiled.job.name))
+
+    def _inject_node_losses(self, jobs: list[MapReduceJob],
+                            result: BlockExecutionResult) -> None:
+        """Let the armed fault plan delete freshly materialized outputs."""
+        injector = self.runtime.fault_injector
+        if injector is None:
+            return
+        lost = injector.lose_outputs([job.output_name for job in jobs])
+        for name in lost:
+            self.runtime.dfs.delete_if_exists(name)
+            result.lost_outputs.append(name)
+
+    def _required_inputs(self, jobs: list[MapReduceJob]) -> list[str]:
+        names: list[str] = []
+        for job in jobs:
+            names.extend(job.inputs)
+            names.extend(build.input_file for build in job.broadcast_builds)
+        return names
+
+    def _ensure_relations(self, names: list[str],
+                          recovery: _RecoveryState,
+                          result: BlockExecutionResult) -> None:
+        """Re-materialize any of ``names`` a node loss deleted."""
+        for name in names:
+            if not self.runtime.dfs.exists(name):
+                self._recover_relation(name, recovery, result)
+
+    def _recover_relation(self, name: str, recovery: _RecoveryState,
+                          result: BlockExecutionResult) -> None:
+        """Re-run the sub-plan that produced the lost relation ``name``.
+
+        Recurses through lost upstream inputs first, so exactly the lost
+        part of the lineage re-executes -- never the whole query (the
+        checkpointing argument of Section 1). Outputs are considered for
+        node loss at most once per run, so recovery always terminates.
+        """
+        producer = recovery.provenance.get(name)
+        if producer is None:
+            raise StorageError(
+                f"lost relation {name!r} has no recorded producer; "
+                f"cannot recover")
+        self._ensure_relations(self._required_inputs([producer]),
+                               recovery, result)
+        batch = self.runtime.execute_batch([producer])
+        result.execution_seconds += batch.makespan
+        result.recovered_jobs.append(producer.name)
 
     def _estimate_missed(self, compiled: CompiledJob,
                          job_result: JobResult) -> bool:
@@ -335,9 +476,11 @@ class DynoptExecutor:
 
     # -- helpers --------------------------------------------------------------------------
 
-    def _optimize(self, block: JoinBlock):
+    def _optimize(self, block: JoinBlock,
+                  banned_broadcast: frozenset = frozenset()):
         leaf_stats = self._leaf_stats(block)
-        optimizer = JoinOptimizer(block, leaf_stats, self.config.optimizer)
+        optimizer = JoinOptimizer(block, leaf_stats, self.config.optimizer,
+                                  banned_broadcast=banned_broadcast)
         return optimizer.optimize()
 
     def _compiler(self, prefix: str) -> PlanCompiler:

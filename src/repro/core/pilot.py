@@ -219,7 +219,12 @@ class PilotRunner:
                 dependencies[job.name] = [previous_name]
             previous_name = job.name
 
-        batch = self.runtime.execute_batch(jobs, dependencies, gates)
+        # Pilots run fault-free: they precede the real query, and keeping
+        # their leaf statistics deterministic means a faulted run starts
+        # from the same first plan as its fault-free twin (the property
+        # the differential oracle in tests/oracle.py checks).
+        with self.runtime.suspended_faults():
+            batch = self.runtime.execute_batch(jobs, dependencies, gates)
         report.simulated_seconds = batch.makespan
         report.jobs_run = len(jobs)
 

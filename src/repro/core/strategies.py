@@ -63,6 +63,12 @@ STRATEGIES: dict[str, ExecutionStrategy] = {
     "CHEAP-2": ExecutionStrategy("CHEAP-2", "cost", 2),
     "SIMPLE_SO": ExecutionStrategy("SIMPLE_SO", "fifo", 1),
     "SIMPLE_MO": ExecutionStrategy("SIMPLE_MO", "fifo", None),
+    #: all-at-once under the *dynamic* executor: every ready job of the
+    #: current plan is submitted each round, re-optimizing only between
+    #: rounds -- maximum utilization, fewest re-optimization points (the
+    #: far end of Figure 5's trade-off, and the widest batches the fault
+    #: oracle can stress recovery with).
+    "ALL": ExecutionStrategy("ALL", "fifo", None),
 }
 
 

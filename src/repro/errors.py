@@ -49,6 +49,48 @@ class BroadcastBuildOverflowError(JobError):
         )
 
 
+class TaskRetriesExhaustedError(JobError):
+    """A task failed more often than ``max_task_attempts`` allows.
+
+    Hadoop kills the whole job once any task burns through its attempt
+    budget (mapred.map.max.attempts, default 4). The driver may retry the
+    job or -- in a dynamic run -- replan around it; see
+    :meth:`repro.core.dynopt.DynoptExecutor`.
+    """
+
+    def __init__(self, job_name: str, attempts: int, detail: str = ""):
+        self.job_name = job_name
+        self.attempts = attempts
+        self.detail = detail
+        extra = f": {detail}" if detail else ""
+        super().__init__(
+            f"job {job_name!r} failed: a task exhausted all "
+            f"{attempts} attempt(s){extra}"
+        )
+
+
+class JobFaultInjectedError(JobError):
+    """A whole-job fault fired at a map/reduce/finalize boundary.
+
+    Transient by construction (a :class:`repro.cluster.faults.FaultPlan`
+    budgets how often it fires per job), so the runtime retries the job
+    with backoff rather than surfacing it to the user.
+    """
+
+    def __init__(self, job_name: str, boundary: str, incarnation: int = 1):
+        self.job_name = job_name
+        self.boundary = boundary
+        self.incarnation = incarnation
+        super().__init__(
+            f"injected fault: job {job_name!r} (attempt {incarnation}) "
+            f"failed at the {boundary} boundary"
+        )
+
+
+class FaultPlanError(DynoError):
+    """A fault plan is malformed (bad rates, unknown keys, bad JSON)."""
+
+
 class ParseError(DynoError):
     """The SQL-dialect parser rejected the input query text."""
 

@@ -35,7 +35,7 @@ from repro.optimizer.memo import (
     Memo,
     Winner,
 )
-from repro.optimizer.plans import PhysLeaf, PhysicalNode
+from repro.optimizer.plans import BROADCAST, PhysJoin, PhysLeaf, PhysicalNode
 from repro.optimizer.rules import JoinContext, default_rules
 from repro.stats.statistics import TableStats
 
@@ -70,7 +70,8 @@ class JoinOptimizer:
 
     def __init__(self, block: JoinBlock,
                  leaf_stats: dict[str, TableStats],
-                 config: OptimizerConfig):
+                 config: OptimizerConfig,
+                 banned_broadcast: frozenset[frozenset[str]] = frozenset()):
         self.block = block
         self.config = config
         self.graph = JoinGraph.build(block)
@@ -79,6 +80,10 @@ class JoinOptimizer:
         self.cost_model = JoinCostModel(config)
         self.rules = default_rules()
         self.memo = Memo(self.graph)
+        #: alias sets whose broadcast join failed permanently at runtime;
+        #: the dynamic executor replans with those candidates excluded so
+        #: the search falls back to repartition (recovery, Section 1).
+        self.banned_broadcast = banned_broadcast
         self._plans_considered = 0
 
     # -- public -------------------------------------------------------------------
@@ -129,6 +134,8 @@ class JoinOptimizer:
                 )
                 if candidate is None:
                     continue
+                if self._broadcast_banned(candidate):
+                    continue
                 self._plans_considered += 1
                 if best is None or candidate.cost < best.cost:
                     best = Winner(candidate.cost, candidate)
@@ -139,6 +146,21 @@ class JoinOptimizer:
             )
         group.winner = best
         return best
+
+    def _broadcast_banned(self, candidate: PhysicalNode) -> bool:
+        """True when this broadcast join failed permanently at runtime.
+
+        Subset semantics: banning ``{o, l}`` also rejects a broadcast of
+        any *smaller* alias set of that failed join -- replanned jobs get
+        different alias groupings and must not resurrect the dead build.
+        """
+        if not self.banned_broadcast:
+            return False
+        if not isinstance(candidate, PhysJoin) \
+                or candidate.method != BROADCAST:
+            return False
+        return any(candidate.aliases <= banned
+                   for banned in self.banned_broadcast)
 
     # -- plan pieces ---------------------------------------------------------------
 

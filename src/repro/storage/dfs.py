@@ -149,6 +149,18 @@ class DistributedFileSystem:
             raise StorageError(f"no such file: {name!r}")
         del self._files[name]
 
+    def delete_if_exists(self, name: str) -> bool:
+        """Delete ``name`` if present; returns whether it existed.
+
+        Used by fault injection's node-loss events: losing an already
+        re-materialized (or never-written) output is a no-op, not an
+        error.
+        """
+        if name not in self._files:
+            return False
+        del self._files[name]
+        return True
+
     # -- data-path operations ---------------------------------------------
 
     def read_split(self, split: Split) -> list[Row]:

@@ -33,11 +33,17 @@ def test_fair_scheduler_matches_oracle(tpch_tables, factory):
     assert report.matches, report.describe()
 
 
+# The legacy config-level failure knob now consumes the task-attempt
+# budget (an exhausted task kills its job); a generous budget keeps these
+# equivalence tests exercising pure time inflation. Exhaustion-at-default
+# is covered in tests/test_runtime.py, end-to-end recovery in
+# tests/test_fault_matrix.py.
 def test_failure_injection_matches_oracle(tpch_tables):
     workload = q10()
     config = replace(
         DEFAULT_CONFIG,
-        cluster=replace(DEFAULT_CONFIG.cluster, task_failure_rate=0.3),
+        cluster=replace(DEFAULT_CONFIG.cluster, task_failure_rate=0.3,
+                        max_task_attempts=64),
     )
     dyno = Dyno(tpch_tables, config=config, udfs=workload.udfs)
     report = verify_workload(dyno, workload.final_spec)
@@ -51,7 +57,8 @@ def test_failure_injection_costs_time_not_rows(tpch_tables):
 
     flaky_config = replace(
         DEFAULT_CONFIG,
-        cluster=replace(DEFAULT_CONFIG.cluster, task_failure_rate=0.4),
+        cluster=replace(DEFAULT_CONFIG.cluster, task_failure_rate=0.4,
+                        max_task_attempts=64),
     )
     flaky_dyno = Dyno(tpch_tables, config=flaky_config, udfs=workload.udfs)
     flaky = flaky_dyno.execute(workload.final_spec, mode="simple")

@@ -104,3 +104,48 @@ class TestExecution:
                                "--scale-factor", "0.05",
                                "--backend", "hive")
         assert code == 0
+
+
+class TestFaultPlanFlag:
+    def _plan_file(self, tmp_path):
+        from repro.cluster.faults import FaultPlan
+
+        path = tmp_path / "plan.json"
+        path.write_text(FaultPlan(seed=67, name="cli-chaos",
+                                  task_failure_rate=0.15,
+                                  job_failure_rate=0.3,
+                                  node_loss_rate=0.5, max_node_losses=1,
+                                  straggler_rate=0.2).to_json())
+        return path
+
+    def test_faulted_run_matches_fault_free_rows(self, tmp_path):
+        code, clean = run_cli("--workload", "Q10", "--scale-factor", "0.05")
+        faulted_code, faulted = run_cli(
+            "--workload", "Q10", "--scale-factor", "0.05",
+            "--fault-plan", str(self._plan_file(tmp_path)))
+        assert code == faulted_code == 0
+        assert "armed fault plan cli-chaos (seed 67)" in faulted
+        assert "fault injection:" in faulted
+        # Identical result rows; only the simulated-time report may move.
+        rows = [line for line in clean.splitlines()
+                if line.startswith("  {")]
+        faulted_rows = [line for line in faulted.splitlines()
+                        if line.startswith("  {")]
+        assert rows and rows == faulted_rows
+
+    def test_invalid_plan_file_reports_cleanly(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"seed": 1, "task_failure_rte": 0.1}')
+        code, output = run_cli("--workload", "Q10",
+                               "--scale-factor", "0.05",
+                               "--fault-plan", str(path))
+        assert code == 1
+        assert "error: cannot load fault plan" in output
+        assert "task_failure_rte" in output
+
+    def test_missing_plan_file_reports_cleanly(self, tmp_path):
+        code, output = run_cli("--workload", "Q10",
+                               "--scale-factor", "0.05",
+                               "--fault-plan", str(tmp_path / "nope.json"))
+        assert code == 1
+        assert "error: cannot load fault plan" in output

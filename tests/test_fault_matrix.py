@@ -1,0 +1,150 @@
+"""The differential fault oracle (see tests/oracle.py).
+
+Acceptance sweep: every workload query x every dynamic execution strategy
+x every fault plan in the standard matrix must produce results and
+statistics identical to the fault-free run -- faults may only cost
+simulated time. Plus: determinism (same seed => same event sequence),
+parallel/serial equivalence under faults, and dedicated scenario tests
+for node-loss recovery and retries-exhausted-then-replan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.oracle import (
+    ORACLE_QUERIES,
+    ORACLE_STRATEGIES,
+    fault_matrix,
+    fault_visible_diff,
+    faulted_config,
+    fingerprint,
+    oracle_tables,
+    plan_named,
+    run_workload,
+)
+
+PLAN_NAMES = [plan.name for plan in fault_matrix()]
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return oracle_tables()
+
+
+@pytest.fixture(scope="module")
+def baseline_cache():
+    """Fault-free fingerprints, computed once per (query, strategy)."""
+    return {}
+
+
+def baseline_fingerprint(tables, cache, query, strategy):
+    key = (query, strategy)
+    if key not in cache:
+        dyno, execution = run_workload(tables, query, strategy)
+        cache[key] = fingerprint(dyno, execution)
+    return cache[key]
+
+
+class TestFaultMatrixOracle:
+    @pytest.mark.parametrize("plan_name", PLAN_NAMES)
+    @pytest.mark.parametrize("strategy", ORACLE_STRATEGIES)
+    @pytest.mark.parametrize("query", ORACLE_QUERIES)
+    def test_fault_schedule_is_result_invisible(
+            self, tables, baseline_cache, query, strategy, plan_name):
+        baseline = baseline_fingerprint(tables, baseline_cache, query,
+                                        strategy)
+        plan = plan_named(plan_name)
+        dyno, execution = run_workload(tables, query, strategy,
+                                       config=faulted_config(plan))
+        faulted = fingerprint(dyno, execution)
+        diff = fault_visible_diff(baseline, faulted)
+        assert not diff, (
+            f"fault plan {plan_name!r} changed {query}/{strategy}: {diff}")
+
+    def test_every_plan_in_matrix_actually_injects(self, tables):
+        """Guards against a vacuous oracle: each plan must do *something*
+        across the workload sweep (events, retries or stragglers)."""
+        for plan in fault_matrix():
+            total_activity = 0
+            for query in ORACLE_QUERIES:
+                dyno, _ = run_workload(tables, query, "UNC-1",
+                                       config=faulted_config(plan))
+                snap = dyno.runtime.fault_injector.snapshot()
+                total_activity += (len(snap["events"]) +
+                                   snap["task_retries"] +
+                                   snap["stragglers"])
+            assert total_activity > 0, (
+                f"fault plan {plan.name!r} injected nothing anywhere")
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_same_event_sequence(self, tables):
+        plan = plan_named("chaos")
+        runs = []
+        for _ in range(2):
+            dyno, execution = run_workload(tables, "Q7", "CHEAP-2",
+                                           config=faulted_config(plan))
+            runs.append((dyno.runtime.fault_injector.snapshot(),
+                         fingerprint(dyno, execution),
+                         execution.total_seconds))
+        first, second = runs
+        assert first[0] == second[0]  # identical fault event sequence
+        assert first[1] == second[1]
+        assert first[2] == second[2]  # even simulated time is reproducible
+
+    def test_different_seed_differs(self, tables):
+        from dataclasses import replace
+        plan = plan_named("chaos")
+        other = replace(plan, seed=plan.seed + 1)
+        d1, _ = run_workload(tables, "Q7", "UNC-1",
+                             config=faulted_config(plan))
+        d2, _ = run_workload(tables, "Q7", "UNC-1",
+                             config=faulted_config(other))
+        assert (d1.runtime.fault_injector.snapshot()
+                != d2.runtime.fault_injector.snapshot())
+
+
+class TestParallelUnderFaults:
+    def test_parallel_byte_identical_to_serial_under_same_plan(self,
+                                                               tables):
+        plan = plan_named("chaos")
+        serial_dyno, serial = run_workload(
+            tables, "Q8'", "UNC-2", config=faulted_config(plan))
+        parallel_dyno, parallel = run_workload(
+            tables, "Q8'", "UNC-2",
+            config=faulted_config(plan, parallel=True))
+        assert fingerprint(serial_dyno, serial) == \
+            fingerprint(parallel_dyno, parallel)
+        # The fault draws are order-independent (blake2b-derived per job
+        # incarnation), so even the *time* accounting is identical.
+        assert serial.total_seconds == parallel.total_seconds
+        assert (serial_dyno.runtime.fault_injector.snapshot()
+                == parallel_dyno.runtime.fault_injector.snapshot())
+
+
+class TestRequiredScenarios:
+    def test_node_loss_of_materialized_output_recovers(self, tables):
+        plan = plan_named("node-loss")
+        dyno, execution = run_workload(tables, "Q10", "UNC-1",
+                                       config=faulted_config(plan))
+        lost = [name for block in execution.block_results
+                for name in block.lost_outputs]
+        recovered = [name for block in execution.block_results
+                     for name in block.recovered_jobs]
+        assert lost, "node-loss plan deleted no materialized output"
+        assert recovered, "lost outputs were never re-materialized"
+        snap = dyno.runtime.fault_injector.snapshot()
+        assert snap["node_losses"] == len(lost)
+
+    def test_retries_exhausted_then_replan(self, tables):
+        plan = plan_named("task-flaky")
+        dyno, execution = run_workload(tables, "Q10", "UNC-1",
+                                       config=faulted_config(plan))
+        replanned = [entry for block in execution.block_results
+                     for entry in block.replanned_failures]
+        assert any("TaskRetriesExhaustedError" in entry
+                   for entry in replanned), (
+            "expected at least one job to exhaust task retries and be "
+            f"replanned; got {replanned}")
+        assert execution.rows  # and the query still completed

@@ -1,0 +1,120 @@
+"""Property-based tests for the KMV synopsis (seeded random, no deps).
+
+The synopsis carries the optimizer's distinct-value estimates (Section
+4.3), so its algebra must be exact: ``add_all`` must equal repeated
+``add``, ``merge`` must be a commutative/associative union, and the
+estimator must stay inside the paper's error bound. Properties are
+checked over 100 randomly generated datasets from a fixed seed -- the
+same spirit as hypothesis, without the dependency.
+"""
+
+import random
+
+import pytest
+
+from repro.stats.kmv import HASH_DOMAIN, KMVSynopsis, kmv_hash
+
+SEED = 20140622
+DATASETS = 100
+
+
+def random_dataset(rng):
+    """A value stream with a random shape: size, duplication, type mix."""
+    size = rng.randrange(0, 2000)
+    distinct = rng.randrange(1, max(2, size + 1))
+    kind = rng.choice(("int", "str", "mixed", "tuple"))
+    universe = []
+    for index in range(distinct):
+        if kind == "int" or (kind == "mixed" and index % 2 == 0):
+            universe.append(rng.randrange(-(10 ** 6), 10 ** 6))
+        elif kind == "tuple":
+            universe.append((rng.randrange(1000), f"k{index}"))
+        else:
+            universe.append(f"value-{rng.randrange(10 ** 6)}")
+    values = [rng.choice(universe) for _ in range(size)]
+    if rng.random() < 0.3:
+        values.extend([None] * rng.randrange(1, 5))  # nulls are skipped
+        rng.shuffle(values)
+    return values
+
+
+def datasets():
+    rng = random.Random(SEED)
+    return [(index, random_dataset(rng), rng.choice((2, 3, 16, 64, 1024)))
+            for index in range(DATASETS)]
+
+
+def filled(values, k):
+    synopsis = KMVSynopsis(k)
+    synopsis.add_all(values)
+    return synopsis
+
+
+@pytest.mark.parametrize("index,values,k", datasets(),
+                         ids=lambda case: str(case) if isinstance(case, int)
+                         else "")
+class TestKMVProperties:
+    def test_add_all_equals_repeated_add(self, index, values, k):
+        bulk = filled(values, k)
+        one_by_one = KMVSynopsis(k)
+        for value in values:
+            one_by_one.add(value)
+        assert bulk.snapshot() == one_by_one.snapshot()
+        assert bulk.estimate() == one_by_one.estimate()
+
+    def test_merge_commutes(self, index, values, k):
+        split = len(values) // 2
+        left, right = filled(values[:split], k), filled(values[split:], k)
+        assert left.merge(right).snapshot() == \
+            right.merge(left).snapshot()
+
+    def test_merge_associates(self, index, values, k):
+        third = max(1, len(values) // 3)
+        a = filled(values[:third], k)
+        b = filled(values[third:2 * third], k)
+        c = filled(values[2 * third:], k)
+        assert a.merge(b).merge(c).snapshot() == \
+            a.merge(b.merge(c)).snapshot()
+
+    def test_merge_equals_union_stream(self, index, values, k):
+        """Partial synopses unioned at the client (Section 4.3) must give
+        the same synopsis as one task seeing the whole stream."""
+        split = len(values) // 2
+        merged = filled(values[:split], k).merge(filled(values[split:], k))
+        assert merged.snapshot() == filled(values, k).snapshot()
+
+    def test_below_saturation_estimate_is_exact(self, index, values, k):
+        synopsis = filled(values, k)
+        true_distinct = len({kmv_hash(v) for v in values if v is not None})
+        if not synopsis.is_saturated:
+            assert synopsis.estimate() == float(true_distinct)
+        else:
+            assert true_distinct >= k
+
+
+class TestEstimatorErrorBound:
+    def test_error_within_paper_bound_at_k_1024(self):
+        """With k=1024 the expected error is ~1/sqrt(k-2) ~ 3%; the paper
+        quotes <= 6%. Allow 3 sigma over 20 seeded trials."""
+        rng = random.Random(SEED)
+        k = 1024
+        for _ in range(20):
+            true_distinct = rng.randrange(10 ** 4, 10 ** 5)
+            synopsis = KMVSynopsis(k)
+            base = rng.randrange(10 ** 9)
+            synopsis.add_all(range(base, base + true_distinct))
+            error = abs(synopsis.estimate() - true_distinct) / true_distinct
+            assert error < 0.10, (
+                f"estimate off by {error:.1%} for n={true_distinct}")
+
+    def test_duplicates_do_not_inflate_estimate(self):
+        synopsis = KMVSynopsis(16)
+        synopsis.add_all([7] * 10_000)
+        assert synopsis.estimate() == 1.0
+
+    def test_empty_estimates_zero(self):
+        assert KMVSynopsis(16).estimate() == 0.0
+
+    def test_domain_constant_is_64_bit(self):
+        assert HASH_DOMAIN == (1 << 64) - 1
+        assert 0 <= kmv_hash("anything") <= HASH_DOMAIN

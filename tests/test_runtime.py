@@ -10,7 +10,11 @@ from repro.cluster.runtime import ClusterRuntime
 from repro.config import DEFAULT_CONFIG, ClusterConfig, DynoConfig
 from repro.data.schema import INT, STRING, Schema
 from repro.data.table import Table
-from repro.errors import BroadcastBuildOverflowError, JobError
+from repro.errors import (
+    BroadcastBuildOverflowError,
+    JobError,
+    TaskRetriesExhaustedError,
+)
 from repro.storage.dfs import DistributedFileSystem
 
 SCHEMA = Schema.of(key=INT, value=STRING)
@@ -330,10 +334,13 @@ class TestCostModel:
 
 
 class TestFailureInjection:
-    def _run(self, failure_rate):
+    def _run(self, failure_rate, max_task_attempts=64):
+        # A generous attempt budget: these tests exercise the *time
+        # inflation* of retries; exhaustion semantics are tested below.
         config = DynoConfig(cluster=ClusterConfig(
             block_size_bytes=256, task_memory_bytes=4096,
             task_failure_rate=failure_rate,
+            max_task_attempts=max_task_attempts,
         ))
         runtime = make_runtime(400, config)
         job = MapReduceJob("j", ["input"], keyed_mapper, "out", SCHEMA,
@@ -355,3 +362,16 @@ class TestFailureInjection:
         low = self._run(0.1)
         high = self._run(0.6)
         assert sum(high.map_task_seconds) > sum(low.map_task_seconds)
+
+    def test_certain_failure_exhausts_attempts(self):
+        """Regression: rate=1.0 used to spin forever; now the attempt
+        budget is clamped and the job fails fast."""
+        with pytest.raises(TaskRetriesExhaustedError) as excinfo:
+            self._run(1.0, max_task_attempts=4)
+        assert excinfo.value.job_name == "j"
+        assert excinfo.value.attempts == 4
+
+    def test_exhaustion_respects_configured_budget(self):
+        with pytest.raises(TaskRetriesExhaustedError) as excinfo:
+            self._run(1.0, max_task_attempts=7)
+        assert excinfo.value.attempts == 7

@@ -82,7 +82,9 @@ class TestChoices:
             bogus.choose(READY)
 
     def test_registry_matches_paper_strategy_set(self):
+        # The paper's Figure 5 strategies plus "ALL" (all ready jobs at
+        # once under the dynamic executor, used by the fault oracle).
         assert set(STRATEGIES) == {
             "UNC-1", "UNC-2", "CHEAP-1", "CHEAP-2",
-            "SIMPLE_SO", "SIMPLE_MO",
+            "SIMPLE_SO", "SIMPLE_MO", "ALL",
         }
