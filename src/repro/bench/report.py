@@ -80,14 +80,14 @@ def generate_report(config: DynoConfig = DEFAULT_CONFIG,
     for title, runner, renderer in EXPERIMENT_SEQUENCE:
         if only is not None and title not in only:
             continue
-        started = time.time()
+        started = time.perf_counter()
         if progress is not None:
             print(f"running {title} ...", file=progress, flush=True)
         result = runner(config)
         sections.append("")
         sections.append(renderer(result))
         if progress is not None:
-            print(f"  done in {time.time() - started:.1f}s wall",
+            print(f"  done in {time.perf_counter() - started:.1f}s wall",
                   file=progress, flush=True)
     return "\n".join(sections) + "\n"
 

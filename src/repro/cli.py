@@ -23,7 +23,31 @@ from repro.config import DEFAULT_CONFIG
 from repro.core.dyno import Dyno
 from repro.data.tpch import PAPER_SCALE_FACTORS, generate_tpch
 from repro.errors import DynoError
+from repro.obs import JsonLinesSink, MetricsRegistry, Tracer
 from repro.workloads.queries import TPCH_WORKLOADS, q3
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if value <= 0.0:
+        raise argparse.ArgumentTypeError(
+            f"must be > 0 (the generator cannot build a {value}-scale "
+            f"dataset)")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (cannot print {value} rows)")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -41,8 +65,8 @@ def build_parser() -> argparse.ArgumentParser:
     source.add_argument("--sql-file", help="file containing SQL text")
 
     scale = parser.add_mutually_exclusive_group()
-    scale.add_argument("--scale-factor", type=float, default=None,
-                       help="generator scale factor (default 0.25)")
+    scale.add_argument("--scale-factor", type=_positive_float, default=None,
+                       help="generator scale factor, > 0 (default 0.25)")
     scale.add_argument("--paper-sf", type=int,
                        choices=sorted(PAPER_SCALE_FACTORS),
                        help="use the paper's SF 100/300/1000 mapping")
@@ -67,13 +91,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="plan only; do not execute the query")
     parser.add_argument("--show-plans", action="store_true",
                         help="print the plan of every (re)optimization")
-    parser.add_argument("--limit", type=int, default=10,
-                        help="result rows to print (default 10)")
+    parser.add_argument("--limit", type=_non_negative_int, default=10,
+                        help="result rows to print, >= 0 (default 10)")
     parser.add_argument("--seed", type=int, default=2014)
     parser.add_argument("--load-stats", metavar="PATH",
                         help="pre-load a statistics metastore file")
     parser.add_argument("--save-stats", metavar="PATH",
                         help="persist the statistics metastore afterwards")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a JSON-lines trace of the query "
+                             "lifecycle (see docs/observability.md)")
+    parser.add_argument("--metrics", metavar="PATH",
+                        help="write a metrics summary JSON after the run")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a driver/simulated time and "
+                             "estimate-quality breakdown after the run")
     return parser
 
 
@@ -116,8 +148,12 @@ def main(argv: list[str] | None = None,
         config = config.with_fault_plan(plan)
         print(f"armed fault plan {plan.name or '<unnamed>'} "
               f"(seed {plan.seed})", file=out)
+
+    tracer = Tracer(JsonLinesSink(args.trace)) if args.trace else None
+    metrics = MetricsRegistry() if (args.metrics or args.profile) else None
     dyno = Dyno(dataset.tables, config=config,
-                udfs=workload.udfs if workload else None)
+                udfs=workload.udfs if workload else None,
+                tracer=tracer, metrics=metrics)
 
     if args.load_stats:
         count = dyno.load_statistics(args.load_stats)
@@ -150,15 +186,67 @@ def main(argv: list[str] | None = None,
     except DynoError as error:
         print(f"error: {error}", file=out)
         return 1
+    finally:
+        if tracer is not None:
+            tracer.close()
+            print(f"wrote trace to {args.trace}", file=out)
 
     injector = dyno.runtime.fault_injector
     if injector is not None:
         print(f"\nfault injection: {injector.summary()}", file=out)
 
+    if args.metrics:
+        metrics.save(args.metrics)
+        print(f"wrote metrics summary to {args.metrics}", file=out)
+    if args.profile:
+        _print_profile(metrics.summary(), out)
+
     if args.save_stats:
         dyno.save_statistics(args.save_stats)
         print(f"saved statistics to {args.save_stats}", file=out)
     return 0
+
+
+def _print_profile(summary: dict, out) -> None:
+    """Human-readable breakdown of the run's metrics summary."""
+    counters = summary["counters"]
+    observations = summary["observations"]
+
+    def obs_line(label: str, name: str, unit: str = "s") -> None:
+        stats = observations.get(name)
+        if not stats:
+            return
+        print(f"  {label:<22} total {stats['total']:10.3f} {unit}  "
+              f"mean {stats['mean']:8.3f}  max {stats['max']:8.3f}  "
+              f"(n={stats['count']})", file=out)
+
+    print("\nprofile:", file=out)
+    print("driver wall-clock:", file=out)
+    obs_line("query", "query.driver_wall_s")
+    obs_line("leaf jobs", "job.driver_wall_s")
+    print("simulated time:", file=out)
+    obs_line("pilot runs", "query.sim_pilot_s")
+    obs_line("optimizer", "query.sim_optimizer_s")
+    obs_line("plan execution", "query.sim_execution_s")
+    obs_line("batch makespan", "batch.makespan_s")
+    if "qerror.rows" in observations or "qerror.bytes" in observations:
+        print("estimate quality (q-error, 1.0 = perfect):", file=out)
+        obs_line("rows", "qerror.rows", unit=" ")
+        obs_line("bytes", "qerror.bytes", unit=" ")
+    interesting = ("queries.executed", "jobs.executed",
+                   "dynopt.optimizations", "dynopt.subplans_executed",
+                   "dynopt.estimate_misses", "dynopt.replans",
+                   "dynopt.recovered_jobs", "pilot.jobs_run",
+                   "pilot.reused", "faults.events", "faults.task_retries",
+                   "faults.stragglers", "faults.node_losses")
+    lines = [(name, counters[name]) for name in interesting
+             if counters.get(name)]
+    if lines:
+        print("counters:", file=out)
+        for name, value in lines:
+            if value == int(value):
+                value = int(value)
+            print(f"  {name:<26} {value}", file=out)
 
 
 def _report(execution, args: argparse.Namespace, out) -> None:

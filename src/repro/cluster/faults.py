@@ -49,6 +49,8 @@ from typing import Callable, Iterable
 
 from repro.errors import FaultPlanError, JobFaultInjectedError, \
     TaskRetriesExhaustedError
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 #: the only boundaries at which a whole-job fault may fire.
 JOB_BOUNDARIES = ("map", "reduce", "finalize")
@@ -265,6 +267,10 @@ class FaultInjector:
 
     def __init__(self, plan: FaultPlan):
         self.plan = plan
+        #: observability hooks (see :meth:`bind`); default to the no-op
+        #: twins so an unbound injector behaves exactly as before.
+        self.tracer: Tracer = NULL_TRACER
+        self.metrics: MetricsRegistry = NULL_METRICS
         self._lock = threading.Lock()
         self._incarnations: dict[str, int] = {}
         self._job_failures: dict[str, int] = {}
@@ -281,6 +287,16 @@ class FaultInjector:
     @property
     def active(self) -> bool:
         return self.plan.injects_anything
+
+    def bind(self, tracer: Tracer, metrics: MetricsRegistry) -> None:
+        """Attach observability sinks; fault events become trace events.
+
+        Injection/recovery decisions are unchanged -- the tracer only
+        *sees* what the seeded plan was going to do anyway, so a traced
+        faulted run stays byte-identical to an untraced one.
+        """
+        self.tracer = tracer
+        self.metrics = metrics
 
     # -- attempt lifecycle ------------------------------------------------
     def begin_attempt(self, job) -> JobAttempt:
@@ -308,14 +324,19 @@ class FaultInjector:
     def count_task_retry(self) -> None:
         with self._lock:
             self.task_retries += 1
+        self.metrics.inc("faults.task_retries")
 
     def count_straggler(self) -> None:
         with self._lock:
             self.stragglers += 1
+        self.metrics.inc("faults.stragglers")
 
     def record(self, event: str) -> None:
         with self._lock:
             self.events.append(event)
+        if self.tracer.enabled:
+            self.tracer.event("fault", detail=event)
+        self.metrics.inc("faults.events")
 
     # -- backoff penalties ------------------------------------------------
     def add_penalty(self, job_name: str, seconds: float) -> None:
@@ -352,6 +373,11 @@ class FaultInjector:
                     self._losses_fired += 1
                     self.events.append(f"node-loss output={name}")
                     lost.append(name)
+        for name in lost:
+            if self.tracer.enabled:
+                self.tracer.event("fault", detail=f"node-loss output={name}")
+            self.metrics.inc("faults.events")
+            self.metrics.inc("faults.node_losses")
         return lost
 
     # -- reporting --------------------------------------------------------

@@ -21,6 +21,7 @@ from collections import deque
 from dataclasses import dataclass, field, replace
 
 from repro.errors import JobError
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 def plan_speculative_backups(durations: list[float],
@@ -150,7 +151,8 @@ class SlotScheduler:
 
     def __init__(self, map_slots: int, reduce_slots: int,
                  policy: str = POLICY_FIFO, speculative: bool = False,
-                 speculative_threshold: float = 3.0):
+                 speculative_threshold: float = 3.0,
+                 tracer: Tracer | None = None):
         if map_slots <= 0 or reduce_slots <= 0:
             raise JobError("slot counts must be positive")
         if policy not in (POLICY_FIFO, POLICY_FAIR):
@@ -162,6 +164,7 @@ class SlotScheduler:
         self.policy = policy
         self.speculative = speculative
         self.speculative_threshold = speculative_threshold
+        self.tracer = tracer or NULL_TRACER
 
     def schedule(self, jobs: list[ScheduledJob]) -> ScheduleResult:
         """Simulate ``jobs`` sharing the cluster; returns per-job timelines."""
@@ -245,7 +248,39 @@ class SlotScheduler:
         # Makespan is when the last *job* finishes; a speculative backup
         # copy releasing its slot later does not extend the batch.
         makespan = max(t.finish_time for t in timelines.values())
+        if self.tracer.enabled:
+            self._trace_batch(jobs, makespan)
         return ScheduleResult(timelines, makespan)
+
+    def _trace_batch(self, jobs: list[ScheduledJob],
+                     makespan: float) -> None:
+        """One summary event per scheduled batch: load and utilization.
+
+        Utilization is aggregate task seconds (including speculative
+        backup copies, which really burn capacity) over the batch's total
+        slot-seconds -- the signal for judging strategy parallelism
+        trade-offs (Figure 5) from a trace alone.
+        """
+        map_seconds = sum(sum(job.map_durations) for job in jobs) + sum(
+            sum(phantoms) for phantoms in self._phantom_maps.values()
+        )
+        reduce_seconds = sum(
+            sum(job.reduce_durations) for job in jobs
+        ) + sum(
+            sum(phantoms) for phantoms in self._phantom_reduces.values()
+        )
+        capacity = makespan * (self.map_slots + self.reduce_slots)
+        self.tracer.event(
+            "schedule",
+            jobs=len(jobs),
+            policy=self.policy,
+            makespan_s=round(makespan, 6),
+            map_task_s=round(map_seconds, 6),
+            reduce_task_s=round(reduce_seconds, 6),
+            utilization=round(
+                (map_seconds + reduce_seconds) / capacity, 6
+            ) if capacity > 0 else 0.0,
+        )
 
     def _apply_speculation(self,
                            jobs: list[ScheduledJob]) -> list[ScheduledJob]:
@@ -282,9 +317,18 @@ class SlotScheduler:
             job = by_id[job_id]
             timelines[job_id].start_time = now
             if not job.map_durations:
+                # A job with no map tasks reaches its map-finish point
+                # immediately; its reduce tasks (if any) must still be
+                # queued -- an early return here left reduce-only jobs
+                # permanently unscheduled.
                 timelines[job_id].map_finish_time = now
                 if not job.reduce_durations:
                     finish_job(job_id, now)
+                    return
+                for duration in job.reduce_durations:
+                    reduce_queue.push(job_id, duration, "reduce_done")
+                for duration in self._phantom_reduces.get(job_id, ()):
+                    reduce_queue.push(job_id, duration, "spec_reduce_done")
                 return
             for duration in job.map_durations:
                 map_queue.push(job_id, duration, "map_done")

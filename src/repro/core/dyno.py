@@ -22,6 +22,7 @@ depends on have already been executed").
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.cluster.coordination import CoordinationService
@@ -44,6 +45,8 @@ from repro.jaql.functions import UdfRegistry, default_registry
 from repro.jaql.interpreter import order_key
 from repro.jaql.parser import SqlParser
 from repro.jaql.rewrites import push_down_filters
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.stats.metastore import StatisticsMetastore
 from repro.core.dynopt import (
     BlockExecutionResult,
@@ -110,16 +113,22 @@ class Dyno:
     def __init__(self, tables: dict[str, Table],
                  config: DynoConfig = DEFAULT_CONFIG,
                  udfs: UdfRegistry | None = None,
-                 metastore: StatisticsMetastore | None = None):
+                 metastore: StatisticsMetastore | None = None,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None):
         from repro.storage.dfs import DistributedFileSystem
 
         self.config = config
+        self.tracer = tracer or NULL_TRACER
+        self.metrics = metrics or NULL_METRICS
         self.dfs = DistributedFileSystem(config.cluster.block_size_bytes)
         self.tables: dict[str, Table] = {}
         for name, table in tables.items():
             self.register_table(name, table)
         self.coordination = CoordinationService()
-        self.runtime = ClusterRuntime(self.dfs, config, self.coordination)
+        self.runtime = ClusterRuntime(self.dfs, config, self.coordination,
+                                      tracer=self.tracer,
+                                      metrics=self.metrics)
         self.metastore = metastore or StatisticsMetastore()
         self.udfs = udfs or default_registry()
         self.executor = DynoptExecutor(self.runtime, self.metastore,
@@ -151,21 +160,37 @@ class Dyno:
                 run_pilots: bool = True, reuse_statistics: bool = True,
                 leaf_stats_override=None, collect_column_stats: bool = True,
                 name: str = "query") -> QueryExecution:
-        extracted = self.prepare(query, name)
-        block_result = self.executor.execute_block(
-            extracted.block,
-            mode=mode,
-            strategy=strategy,
-            pilot_mode=pilot_mode,
-            run_pilots=run_pilots,
-            reuse_statistics=reuse_statistics,
-            leaf_stats_override=leaf_stats_override,
-            collect_column_stats=collect_column_stats,
-        )
-        execution = QueryExecution(extracted.spec.name, [],
-                                   [block_result])
-        execution.rows = self._run_stages(extracted, block_result.output_file,
-                                          execution)
+        wall_start = time.perf_counter() if self.metrics.enabled else 0.0
+        with self.tracer.span("query", name=name, mode=mode,
+                              strategy=str(strategy)) as span:
+            extracted = self.prepare(query, name)
+            block_result = self.executor.execute_block(
+                extracted.block,
+                mode=mode,
+                strategy=strategy,
+                pilot_mode=pilot_mode,
+                run_pilots=run_pilots,
+                reuse_statistics=reuse_statistics,
+                leaf_stats_override=leaf_stats_override,
+                collect_column_stats=collect_column_stats,
+            )
+            execution = QueryExecution(extracted.spec.name, [],
+                                       [block_result])
+            execution.rows = self._run_stages(
+                extracted, block_result.output_file, execution
+            )
+            span.set(rows=len(execution.rows),
+                     sim_total_s=round(execution.total_seconds, 6))
+        if self.metrics.enabled:
+            metrics = self.metrics
+            metrics.inc("queries.executed")
+            metrics.observe("query.driver_wall_s",
+                            time.perf_counter() - wall_start)
+            metrics.observe("query.sim_pilot_s", execution.pilot_seconds)
+            metrics.observe("query.sim_optimizer_s",
+                            execution.optimizer_seconds)
+            metrics.observe("query.sim_execution_s",
+                            execution.execution_seconds)
         return execution
 
     def explain(self, query: QuerySpec | str, run_pilots: bool = True,
@@ -291,6 +316,10 @@ class Dyno:
         current_file = block_output
         rows: list[Row] | None = None
         for stage in extracted.stages:
+            if self.tracer.enabled:
+                self.tracer.event("stage",
+                                  kind=type(stage).__name__.lower(),
+                                  query=extracted.spec.name)
             if isinstance(stage, GroupBy):
                 if rows is not None:
                     raise PlanError(

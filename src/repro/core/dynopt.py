@@ -28,6 +28,7 @@ from repro.errors import (
 )
 from repro.jaql.blocks import JoinBlock
 from repro.jaql.compiler import CompiledJob, PlanCompiler
+from repro.obs.metrics import q_error
 from repro.optimizer.plans import PhysicalNode, plan_signature, render_plan
 from repro.optimizer.search import JoinOptimizer
 from repro.stats.collector import stats_scope
@@ -134,6 +135,8 @@ class DynoptExecutor:
         self.runtime = runtime
         self.metastore = metastore
         self.config = config
+        self.tracer = runtime.tracer
+        self.metrics = runtime.metrics
         self.pilot_runner = PilotRunner(runtime, metastore, config)
 
     # -- public ---------------------------------------------------------------------
@@ -161,22 +164,31 @@ class DynoptExecutor:
 
         result = BlockExecutionResult(block.name, mode)
 
-        if leaf_stats_override is not None:
-            for signature, stats in leaf_stats_override.items():
-                self.metastore.put(signature, stats)
-        elif run_pilots:
-            report = self.pilot_runner.run(
-                block, mode=pilot_mode, reuse_statistics=reuse_statistics
-            )
-            result.pilot = report
-            result.pilot_seconds = report.simulated_seconds
-            block = self._apply_reusable_outputs(block, report)
+        with self.tracer.span("block", block=block.name, mode=mode,
+                              strategy=strategy.name) as span:
+            if leaf_stats_override is not None:
+                for signature, stats in leaf_stats_override.items():
+                    self.metastore.put(signature, stats)
+            elif run_pilots:
+                report = self.pilot_runner.run(
+                    block, mode=pilot_mode,
+                    reuse_statistics=reuse_statistics
+                )
+                result.pilot = report
+                result.pilot_seconds = report.simulated_seconds
+                block = self._apply_reusable_outputs(block, report)
 
-        if mode == MODE_SIMPLE:
-            self._execute_simple(block, strategy, result)
-        else:
-            self._execute_dynamic(block, strategy, result,
-                                  collect_column_stats)
+            if mode == MODE_SIMPLE:
+                self._execute_simple(block, strategy, result)
+            else:
+                self._execute_dynamic(block, strategy, result,
+                                      collect_column_stats)
+            span.set(
+                iterations=len(result.iterations),
+                sim_total_s=round(result.total_seconds, 6),
+                replans=len(result.replanned_failures),
+                recovered_jobs=len(result.recovered_jobs),
+            )
         return result
 
     # -- DYNOPT loop ------------------------------------------------------------------
@@ -211,12 +223,18 @@ class DynoptExecutor:
                 result.output_file = finished
                 return
 
-            optimization = self._optimize(block, recovery.banned_broadcast)
+            optimization = self._optimize(block, recovery.banned_broadcast,
+                                          iteration=iteration)
             result.optimizer_seconds += optimization.simulated_seconds
             result.plans.append(optimization.plan)
 
             compiler = self._compiler(f"{block.name}.it{iteration}")
             graph = compiler.compile_block(optimization.plan)
+            if self.tracer.enabled:
+                self.tracer.event("compile", block=block.name,
+                                  iteration=iteration,
+                                  jobs=graph.job_count,
+                                  trivial=graph.trivial)
             if graph.trivial:
                 self._ensure_relations([graph.final_output], recovery,
                                        result)
@@ -245,9 +263,14 @@ class DynoptExecutor:
                     recovery, result,
                 )
                 try:
-                    batch = self.runtime.execute_batch(
-                        [c.job for c in chosen]
-                    )
+                    with self.tracer.span(
+                        "execute", block=block.name, iteration=iteration,
+                        jobs=[c.name for c in chosen],
+                    ) as span:
+                        batch = self.runtime.execute_batch(
+                            [c.job for c in chosen]
+                        )
+                        span.set(makespan_s=round(batch.makespan, 6))
                 except PERMANENT_JOB_FAILURES as failure:
                     self._replan_around_failure(failure, chosen, recovery,
                                                 result)
@@ -278,7 +301,10 @@ class DynoptExecutor:
                         compiled.job
                     block = self._substitute(block, compiled, job_result)
                     completed.add(compiled.name)
-                    if self._estimate_missed(compiled, job_result):
+                    missed = self._estimate_missed(compiled, job_result)
+                    self._audit_estimate(compiled, job_result,
+                                         iteration - 1, missed)
+                    if missed:
                         surprised = True
                 # A node loss may eat any freshly materialized output;
                 # recovery happens lazily, when something needs it again.
@@ -307,11 +333,23 @@ class DynoptExecutor:
             raise failure
         job_name = getattr(failure, "job_name", "")
         failed = next((c for c in chosen if c.name == job_name), None)
+        banned_now = False
         if failed is not None and failed.job.is_broadcast_join:
             recovery.banned_broadcast = recovery.banned_broadcast | \
                 {frozenset(failed.output_aliases)}
+            banned_now = True
         result.replanned_failures.append(
             f"{job_name or '<batch>'}: {type(failure).__name__}")
+        if self.tracer.enabled:
+            self.tracer.event(
+                "replan",
+                job=job_name or "<batch>",
+                error=type(failure).__name__,
+                replans=recovery.replans,
+                banned_broadcast=(sorted(failed.output_aliases)
+                                  if banned_now else []),
+            )
+        self.metrics.inc("dynopt.replans")
         # The dead batch may have published partial statistics; replanned
         # jobs can reuse the same names and must publish from scratch.
         for compiled in chosen:
@@ -360,9 +398,13 @@ class DynoptExecutor:
                 f"cannot recover")
         self._ensure_relations(self._required_inputs([producer]),
                                recovery, result)
-        batch = self.runtime.execute_batch([producer])
+        with self.tracer.span("recover", relation=name,
+                              job=producer.name) as span:
+            batch = self.runtime.execute_batch([producer])
+            span.set(makespan_s=round(batch.makespan, 6))
         result.execution_seconds += batch.makespan
         result.recovered_jobs.append(producer.name)
+        self.metrics.inc("dynopt.recovered_jobs")
 
     def _estimate_missed(self, compiled: CompiledJob,
                          job_result: JobResult) -> bool:
@@ -371,6 +413,41 @@ class DynoptExecutor:
         observed = float(job_result.output_rows)
         deviation = abs(observed - estimated) / estimated
         return deviation > self.config.reoptimization_threshold
+
+    def _audit_estimate(self, compiled: CompiledJob, job_result: JobResult,
+                        iteration: int, missed: bool) -> None:
+        """Record estimated-vs-actual for one executed sub-plan.
+
+        The q-error per executed job is the paper's core feedback signal
+        (observed statistics replacing estimates); surfacing it is what
+        makes a DYNOPT replan explainable from a trace.
+        """
+        tracer = self.tracer
+        metrics = self.metrics
+        if not (tracer.enabled or metrics.enabled):
+            return
+        rows_q = q_error(compiled.estimated_rows, job_result.output_rows)
+        bytes_q = q_error(compiled.estimated_bytes, job_result.output_bytes)
+        if tracer.enabled:
+            tracer.event(
+                "estimate",
+                job=compiled.name,
+                iteration=iteration,
+                joins=compiled.join_count,
+                estimated_rows=round(compiled.estimated_rows, 3),
+                actual_rows=job_result.output_rows,
+                estimated_bytes=round(compiled.estimated_bytes, 3),
+                actual_bytes=job_result.output_bytes,
+                q_error_rows=round(rows_q, 6),
+                q_error_bytes=round(bytes_q, 6),
+                missed=missed,
+            )
+        if metrics.enabled:
+            metrics.observe("qerror.rows", rows_q)
+            metrics.observe("qerror.bytes", bytes_q)
+            metrics.inc("dynopt.subplans_executed")
+            if missed:
+                metrics.inc("dynopt.estimate_misses")
 
     # -- DYNOPT-SIMPLE ------------------------------------------------------------------
 
@@ -420,6 +497,9 @@ class DynoptExecutor:
                    result: BlockExecutionResult, label: str) -> None:
         compiler = self._compiler(f"{block.name}.{label}")
         graph = compiler.compile_block(plan)
+        if self.tracer.enabled:
+            self.tracer.event("compile", block=block.name, label=label,
+                              jobs=graph.job_count, trivial=graph.trivial)
         if graph.trivial:
             result.output_file = graph.final_output
             return
@@ -430,9 +510,14 @@ class DynoptExecutor:
                 compiled.name: list(compiled.depends_on)
                 for compiled in graph.jobs
             }
-            batch = self.runtime.execute_batch(
-                [compiled.job for compiled in graph.jobs], dependencies
-            )
+            with self.tracer.span(
+                "execute", block=block.name, label=label,
+                jobs=[compiled.name for compiled in graph.jobs],
+            ) as span:
+                batch = self.runtime.execute_batch(
+                    [compiled.job for compiled in graph.jobs], dependencies
+                )
+                span.set(makespan_s=round(batch.makespan, 6))
             result.execution_seconds += batch.makespan
             result.iterations.append(IterationRecord(
                 index=0,
@@ -454,9 +539,14 @@ class DynoptExecutor:
                     raise PlanError(
                         f"stuck executing block {block.name!r}: no ready jobs"
                     )
-                batch = self.runtime.execute_batch(
-                    [compiled.job for compiled in chosen]
-                )
+                with self.tracer.span(
+                    "execute", block=block.name, label=label,
+                    jobs=[compiled.name for compiled in chosen],
+                ) as span:
+                    batch = self.runtime.execute_batch(
+                        [compiled.job for compiled in chosen]
+                    )
+                    span.set(makespan_s=round(batch.makespan, 6))
                 result.execution_seconds += batch.makespan
                 result.iterations.append(IterationRecord(
                     index=index,
@@ -477,11 +567,28 @@ class DynoptExecutor:
     # -- helpers --------------------------------------------------------------------------
 
     def _optimize(self, block: JoinBlock,
-                  banned_broadcast: frozenset = frozenset()):
+                  banned_broadcast: frozenset = frozenset(),
+                  iteration: int = 0):
         leaf_stats = self._leaf_stats(block)
         optimizer = JoinOptimizer(block, leaf_stats, self.config.optimizer,
                                   banned_broadcast=banned_broadcast)
-        return optimizer.optimize()
+        with self.tracer.span("optimize", block=block.name,
+                              iteration=iteration,
+                              leaves=len(block.leaves),
+                              banned_broadcasts=len(banned_broadcast),
+                              ) as span:
+            optimization = optimizer.optimize()
+            span.set(
+                cost=round(optimization.cost, 3),
+                plans_considered=optimization.plans_considered,
+                sim_s=round(optimization.simulated_seconds, 6),
+                plan=plan_signature(optimization.plan),
+            )
+        if self.metrics.enabled:
+            self.metrics.inc("dynopt.optimizations")
+            self.metrics.observe("optimizer.sim_s",
+                                 optimization.simulated_seconds)
+        return optimization
 
     def _compiler(self, prefix: str) -> PlanCompiler:
         return PlanCompiler(self.runtime.dfs, self.config, prefix)
@@ -573,6 +680,15 @@ class DynoptExecutor:
                 exact=True,
             )
         self.metastore.put(f"intermediate:{output}", stats)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "substitute",
+                job=compiled.name,
+                output=output,
+                aliases=sorted(compiled.output_aliases),
+                rows=job_result.output_rows,
+                collected_columns=sorted(stats.columns),
+            )
         return block.substitute(
             compiled.output_aliases, output, compiled.applied_predicates
         )

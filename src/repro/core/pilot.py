@@ -175,6 +175,23 @@ class PilotRunner:
         """Execute pilot runs for every base leaf lacking statistics."""
         if mode not in (PILR_ST, PILR_MT):
             raise PlanError(f"unknown pilot mode: {mode!r}")
+        with self.runtime.tracer.span("pilot", block=block.name,
+                                      mode=mode) as span:
+            report = self._run(block, mode, reuse_statistics)
+            span.set(
+                jobs_run=report.jobs_run,
+                reused=sum(1 for outcome in report.outcomes.values()
+                           if outcome.reused),
+                sim_s=round(report.simulated_seconds, 6),
+            )
+        metrics = self.runtime.metrics
+        if metrics.enabled and report.jobs_run:
+            metrics.inc("pilot.jobs_run", report.jobs_run)
+            metrics.observe("pilot.sim_s", report.simulated_seconds)
+        return report
+
+    def _run(self, block: JoinBlock, mode: str,
+             reuse_statistics: bool) -> PilotReport:
         report = PilotReport(mode)
 
         pending: list[BlockLeaf] = []
@@ -228,12 +245,24 @@ class PilotRunner:
         report.simulated_seconds = batch.makespan
         report.jobs_run = len(jobs)
 
+        tracer = self.runtime.tracer
         for job in jobs:
             result = batch[job.name]
             leaf = leaf_of_job[job.name]
             outcome = self._extrapolate(leaf, result)
             report.outcomes[outcome.signature] = outcome
             self.metastore.put(outcome.signature, outcome.stats)
+            if tracer.enabled:
+                tracer.event(
+                    "pilot.leaf",
+                    job=job.name,
+                    signature=outcome.signature,
+                    scanned_fraction=round(outcome.scanned_fraction, 6),
+                    sample_rows=outcome.output_rows,
+                    estimated_rows=round(outcome.stats.row_count, 3),
+                    estimated_bytes=round(outcome.stats.size_bytes, 3),
+                    reusable=outcome.reusable_output is not None,
+                )
         return report
 
     # -- job construction -----------------------------------------------------------

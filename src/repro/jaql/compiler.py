@@ -66,6 +66,9 @@ class CompiledJob:
     #: optimizer cost attributable to this job (for the CHEAP strategies).
     estimated_cost: float
     estimated_rows: float
+    #: optimizer's output-size estimate; 0.0 where the plan has none
+    #: (group-by stages). Feeds the estimated-vs-actual trace audit.
+    estimated_bytes: float = 0.0
     final: bool = False
 
     @property
@@ -464,6 +467,7 @@ class PlanCompiler:
             join_count=left.join_count + right.join_count + 1,
             estimated_cost=max(node.cost - upstream_cost, 0.0),
             estimated_rows=node.est_rows,
+            estimated_bytes=node.est_bytes,
         )
         jobs.append(compiled)
         return _Stream(
@@ -511,6 +515,8 @@ class PlanCompiler:
             estimated_cost=max(node_cost - stream.upstream_cost, 0.0),
             estimated_rows=(stream.node.est_rows
                             if stream.node is not None else 0.0),
+            estimated_bytes=(stream.node.est_bytes
+                             if stream.node is not None else 0.0),
             final=final,
         )
         jobs.append(compiled)

@@ -10,6 +10,7 @@ same (JSON), with an in-memory dict as the hot path.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Iterator
 
@@ -51,11 +52,20 @@ class StatisticsMetastore:
     # -- persistence -------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
+        """Write atomically: a failure mid-write (disk full, crash, bad
+        entry) must not clobber the previous metastore file."""
         payload = {
             signature: stats.to_dict()
             for signature, stats in self._entries.items()
         }
-        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+        target = Path(path)
+        staging = target.with_name(target.name + ".tmp")
+        try:
+            staging.write_text(json.dumps(payload, indent=2, sort_keys=True))
+            os.replace(staging, target)
+        except BaseException:
+            staging.unlink(missing_ok=True)
+            raise
 
     @staticmethod
     def load(path: str | Path) -> "StatisticsMetastore":

@@ -28,6 +28,36 @@ class TestParser:
                                           "--paper-sf", "100"])
         assert args.paper_sf == 100
 
+    @pytest.mark.parametrize("value", ["0", "-1", "-0.5"])
+    def test_scale_factor_must_be_positive(self, value, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--workload", "Q10",
+                                       "--scale-factor", value])
+        assert "must be > 0" in capsys.readouterr().err
+
+    def test_scale_factor_must_be_numeric(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--workload", "Q10",
+                                       "--scale-factor", "tiny"])
+        assert "not a number: 'tiny'" in capsys.readouterr().err
+
+    def test_limit_rejects_negative(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--workload", "Q10",
+                                       "--limit", "-5"])
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_limit_rejects_non_integer(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--workload", "Q10",
+                                       "--limit", "ten"])
+        assert "not an integer: 'ten'" in capsys.readouterr().err
+
+    def test_limit_zero_is_allowed(self):
+        args = build_parser().parse_args(["--workload", "Q10",
+                                          "--limit", "0"])
+        assert args.limit == 0
+
 
 class TestExecution:
     def test_workload_run(self):
@@ -149,3 +179,59 @@ class TestFaultPlanFlag:
                                "--fault-plan", str(tmp_path / "nope.json"))
         assert code == 1
         assert "error: cannot load fault plan" in output
+
+
+class TestObservabilityFlags:
+    def test_trace_writes_parseable_json_lines(self, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        code, output = run_cli("--workload", "Q10",
+                               "--scale-factor", "0.05",
+                               "--trace", str(trace))
+        assert code == 0
+        assert f"wrote trace to {trace}" in output
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines()]
+        assert records
+        names = {record["name"] for record in records}
+        # The full DYNOPT lifecycle shows up in one trace.
+        assert {"query", "pilot", "optimize", "execute",
+                "job", "estimate"} <= names
+        # seq is dense and deterministic.
+        assert [r["seq"] for r in records] == list(range(len(records)))
+
+    def test_metrics_summary_written(self, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code, output = run_cli("--workload", "Q10",
+                               "--scale-factor", "0.05",
+                               "--metrics", str(path))
+        assert code == 0
+        summary = json.loads(path.read_text())
+        assert summary["counters"]["queries.executed"] == 1
+        assert summary["counters"]["jobs.executed"] >= 1
+        assert "qerror.rows" in summary["observations"]
+        assert "query.driver_wall_s" in summary["observations"]
+
+    def test_profile_prints_breakdown(self):
+        code, output = run_cli("--workload", "Q10",
+                               "--scale-factor", "0.05", "--profile")
+        assert code == 0
+        assert "profile:" in output
+        assert "driver wall-clock:" in output
+        assert "q-error" in output
+        assert "queries.executed" in output
+
+    def test_trace_closed_on_query_error(self, tmp_path):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        code, output = run_cli("--sql", "SELECT a.x FROM t1 a",
+                               "--scale-factor", "0.05",
+                               "--trace", str(trace))
+        assert code == 1
+        # The sink is flushed and every written line still parses.
+        for line in trace.read_text().splitlines():
+            json.loads(line)

@@ -81,3 +81,36 @@ class TestPersistence:
         path.write_text("[1, 2]")
         with pytest.raises(StatisticsError):
             StatisticsMetastore.load(path)
+
+    def test_save_is_atomic_on_failure(self, tmp_path, monkeypatch):
+        """A crash mid-write must leave the previous file untouched
+        (save used to truncate the target in place)."""
+        path = tmp_path / "stats.json"
+        store = StatisticsMetastore()
+        store.put("keep-me", sample_stats())
+        store.save(path)
+        before = path.read_text()
+
+        import repro.stats.metastore as module
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(module.os, "replace", exploding_replace)
+        store.put("new-entry", TableStats(1.0, 1.0))
+        with pytest.raises(OSError):
+            store.save(path)
+        assert path.read_text() == before
+        # The staging file is cleaned up, not left littering the directory.
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_save_overwrites_previous_contents(self, tmp_path):
+        path = tmp_path / "stats.json"
+        store = StatisticsMetastore()
+        store.put("sig", sample_stats())
+        store.save(path)
+        store.clear()
+        store.put("only", TableStats(2.0, 20.0))
+        store.save(path)
+        restored = StatisticsMetastore.load(path)
+        assert list(restored) == ["only"]

@@ -203,6 +203,96 @@ class TestFairPolicy:
                 assert (result.timelines[job.job_id].ready_time
                         >= result.timelines[dep].finish_time - 1e-6)
 
+class TestReduceOnlyJobs:
+    """Regression: a job with reduces but no maps used to raise JobError
+    (the job_start branch returned before enqueueing its reduce tasks, so
+    the event loop drained with the job unfinished)."""
+
+    def test_reduce_only_job_completes(self):
+        result = schedule([ScheduledJob("j", [], [5.0])])
+        assert result.makespan == pytest.approx(5.0)
+        timeline = result.timelines["j"]
+        assert timeline.map_finish_time == pytest.approx(0.0)
+        assert timeline.finish_time == pytest.approx(5.0)
+
+    def test_reduce_only_with_startup(self):
+        result = schedule([
+            ScheduledJob("j", [], [5.0, 7.0], startup_seconds=3.0)
+        ])
+        # Maps vacuously finish at startup; reduces run 3 -> 10.
+        assert result.makespan == pytest.approx(10.0)
+
+    def test_reduce_only_respects_reduce_slots(self):
+        result = schedule([ScheduledJob("j", [], [4.0] * 4)],
+                          reduce_slots=2)
+        # 4 reduces over 2 slots: two waves.
+        assert result.makespan == pytest.approx(8.0)
+
+    def test_dependency_on_reduce_only_job(self):
+        result = schedule([
+            ScheduledJob("a", [], [6.0]),
+            ScheduledJob("b", [2.0], depends_on=["a"]),
+        ])
+        assert result.makespan == pytest.approx(8.0)
+        assert (result.timelines["b"].ready_time
+                == result.timelines["a"].finish_time)
+
+    def test_reduce_only_under_fair_policy(self):
+        jobs = [
+            ScheduledJob("a", [], [5.0] * 2),
+            ScheduledJob("b", [], [5.0] * 2),
+        ]
+        fifo = SlotScheduler(4, 2, policy="fifo").schedule(jobs)
+        fair = SlotScheduler(4, 2, policy="fair").schedule(jobs)
+        assert fifo.timelines["a"].finish_time == pytest.approx(5.0)
+        assert fair.timelines["a"].finish_time == pytest.approx(10.0)
+        assert fifo.makespan == fair.makespan == pytest.approx(10.0)
+
+
+class TestSpeculativeEdgeCases:
+    def test_reduce_only_with_speculation(self):
+        # median 1, cap 3*1+1 = 4: the 30s straggler is capped at 4.
+        result = SlotScheduler(4, 4, speculative=True).schedule([
+            ScheduledJob("j", [], [1.0, 1.0, 30.0])
+        ])
+        assert result.makespan == pytest.approx(4.0)
+
+    def test_map_only_with_speculation(self):
+        result = SlotScheduler(4, 4, speculative=True).schedule([
+            ScheduledJob("j", [1.0, 1.0, 30.0])
+        ])
+        assert result.makespan == pytest.approx(4.0)
+
+    def test_single_task_below_speculation_minimum(self):
+        # Fewer than 3 tasks: no median, nothing speculated.
+        result = SlotScheduler(4, 4, speculative=True).schedule([
+            ScheduledJob("j", [30.0])
+        ])
+        assert result.makespan == pytest.approx(30.0)
+
+    def test_empty_durations_with_speculation(self):
+        result = SlotScheduler(4, 4, speculative=True).schedule([
+            ScheduledJob("j", [], [], startup_seconds=3.0)
+        ])
+        assert result.makespan == pytest.approx(3.0)
+
+    def test_zero_median_durations_not_speculated(self):
+        result = SlotScheduler(4, 4, speculative=True).schedule([
+            ScheduledJob("j", [0.0, 0.0, 9.0])
+        ])
+        assert result.makespan == pytest.approx(9.0)
+
+    def test_speculative_fair_reduce_only_batch(self):
+        result = SlotScheduler(4, 2, policy="fair",
+                               speculative=True).schedule([
+            ScheduledJob("a", [], [1.0, 1.0, 30.0]),
+            ScheduledJob("b", [], [2.0]),
+        ])
+        assert result.timelines["a"].finish_time <= 30.0
+        assert result.timelines["b"].finish_time >= 2.0
+
+
+class TestRuntimeConfig:
     def test_runtime_honours_config_policy(self):
         from repro.cluster.runtime import ClusterRuntime
         from repro.config import ClusterConfig, DynoConfig
