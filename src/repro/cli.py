@@ -63,6 +63,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     source.add_argument("--sql", help="ad-hoc SQL text to execute")
     source.add_argument("--sql-file", help="file containing SQL text")
+    source.add_argument(
+        "--batch", choices=["mixed"],
+        help="run a query batch through the QueryService (concurrent "
+             "drivers, shared metastore, pilot skipping, plan cache); "
+             "'mixed' is TPC-H + weblogs with repeats",
+    )
+    parser.add_argument(
+        "--service-workers", type=int, default=4, metavar="N",
+        help="driver threads for --batch (default 4; results are "
+             "identical at any worker count)",
+    )
 
     scale = parser.add_mutually_exclusive_group()
     scale.add_argument("--scale-factor", type=_positive_float, default=None,
@@ -124,10 +135,81 @@ def _resolve_workload(args: argparse.Namespace):
     return None
 
 
+def _run_service(args: argparse.Namespace, out) -> int:
+    """--batch: execute a mixed workload through the QueryService."""
+    from repro.service import QueryService
+    from repro.workloads.mixed import mixed_batch, mixed_tables
+
+    scale_factor = _scale_factor(args)
+    print(f"generating TPC-H + weblogs at scale factor {scale_factor} ...",
+          file=out)
+    tables = mixed_tables(scale_factor, seed=args.seed)
+    requests, udfs = mixed_batch()
+    for request in requests:
+        request.mode = args.mode
+        request.strategy = args.strategy
+        request.pilot_mode = args.pilot_mode
+
+    config = DEFAULT_CONFIG.with_backend(args.backend)
+    if args.parallel:
+        config = config.with_parallel_execution()
+    tracer = Tracer(JsonLinesSink(args.trace)) if args.trace else None
+    metrics = MetricsRegistry() if (args.metrics or args.profile) else None
+    service = QueryService(tables, config=config, udfs=udfs,
+                           tracer=tracer, metrics=metrics,
+                           workers=args.service_workers)
+    if args.load_stats:
+        count = service.dyno.load_statistics(args.load_stats)
+        print(f"loaded {count} statistics entries from "
+              f"{args.load_stats}", file=out)
+
+    print(f"running {len(requests)} queries on "
+          f"{args.service_workers} driver thread(s) ...", file=out)
+    try:
+        outcomes = service.run_batch(requests)
+    except DynoError as error:
+        print(f"error: {error}", file=out)
+        return 1
+    finally:
+        if tracer is not None:
+            tracer.close()
+            print(f"wrote trace to {args.trace}", file=out)
+
+    print(f"\n{'query':<20} {'rows':>6} {'pilots':>7} {'skipped':>8} "
+          f"{'plan hits':>10}", file=out)
+    failed = 0
+    for outcome in outcomes:
+        if not outcome.ok:
+            failed += 1
+            print(f"{outcome.name:<20} error: {outcome.error}", file=out)
+            continue
+        print(f"{outcome.name:<20} {len(outcome.rows):>6} "
+              f"{outcome.pilot_jobs:>7} {outcome.pilots_skipped:>8} "
+              f"{outcome.plan_cache_hits:>10}", file=out)
+    cache = service.plan_cache.summary()
+    print(f"\nplan cache: {cache['hits']} hit(s), {cache['misses']} "
+          f"miss(es), {cache['invalidations']} invalidation(s)", file=out)
+    print(f"metastore: {len(service.metastore)} statistics entries",
+          file=out)
+
+    if args.metrics:
+        metrics.save(args.metrics)
+        print(f"wrote metrics summary to {args.metrics}", file=out)
+    if args.profile:
+        _print_profile(metrics.summary(), out)
+    if args.save_stats:
+        service.dyno.save_statistics(args.save_stats)
+        print(f"saved statistics to {args.save_stats}", file=out)
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None,
          out=None) -> int:
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
+
+    if args.batch:
+        return _run_service(args, out)
 
     scale_factor = _scale_factor(args)
     print(f"generating TPC-H at scale factor {scale_factor} ...", file=out)

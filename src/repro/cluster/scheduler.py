@@ -90,6 +90,22 @@ class ScheduleResult:
     makespan: float
 
 
+@dataclass
+class _CallState:
+    """Per-``schedule()`` bookkeeping.
+
+    Kept off the scheduler instance so concurrent ``schedule()`` calls
+    (the multi-query service shares one :class:`SlotScheduler` across
+    driver threads) never observe each other's freed-slot counts or
+    speculative phantom tasks.
+    """
+
+    freed_map: int = 0
+    freed_reduce: int = 0
+    phantom_maps: dict[str, list[float]] = field(default_factory=dict)
+    phantom_reduces: dict[str, list[float]] = field(default_factory=dict)
+
+
 #: Scheduling policies. The paper uses Hadoop's FIFO scheduler "so as to
 #: maximize the utilization of the cluster resources" and leaves the fair
 #: and capacity schedulers as future work (Section 6.3); ``fair`` is
@@ -170,7 +186,8 @@ class SlotScheduler:
         """Simulate ``jobs`` sharing the cluster; returns per-job timelines."""
         if not jobs:
             return ScheduleResult({}, 0.0)
-        jobs = self._apply_speculation(jobs)
+        state = _CallState()
+        jobs = self._apply_speculation(jobs, state)
         by_id = {job.job_id: job for job in jobs}
         if len(by_id) != len(jobs):
             raise JobError("duplicate job ids in batch")
@@ -193,8 +210,6 @@ class SlotScheduler:
         reduce_queue = _TaskQueue(self.policy)
         free_map = self.map_slots
         free_reduce = self.reduce_slots
-        self._freed_map = 0
-        self._freed_reduce = 0
 
         # Event heap entries: (time, seq, kind, payload). ``seq`` breaks ties
         # deterministically in submission order.
@@ -233,11 +248,11 @@ class SlotScheduler:
                 self._handle_event(
                     heapq.heappop(events), by_id, timelines,
                     remaining_maps, remaining_reduces, map_queue,
-                    reduce_queue, finish_job,
+                    reduce_queue, finish_job, state,
                 )
             free_map, free_reduce = self._dispatch(
                 now, map_queue, reduce_queue, free_map, free_reduce,
-                push_event,
+                push_event, state,
             )
 
         unreached = [job.job_id for job in jobs if job.job_id not in finished]
@@ -249,11 +264,11 @@ class SlotScheduler:
         # copy releasing its slot later does not extend the batch.
         makespan = max(t.finish_time for t in timelines.values())
         if self.tracer.enabled:
-            self._trace_batch(jobs, makespan)
+            self._trace_batch(jobs, makespan, state)
         return ScheduleResult(timelines, makespan)
 
     def _trace_batch(self, jobs: list[ScheduledJob],
-                     makespan: float) -> None:
+                     makespan: float, state: _CallState) -> None:
         """One summary event per scheduled batch: load and utilization.
 
         Utilization is aggregate task seconds (including speculative
@@ -262,12 +277,12 @@ class SlotScheduler:
         trade-offs (Figure 5) from a trace alone.
         """
         map_seconds = sum(sum(job.map_durations) for job in jobs) + sum(
-            sum(phantoms) for phantoms in self._phantom_maps.values()
+            sum(phantoms) for phantoms in state.phantom_maps.values()
         )
         reduce_seconds = sum(
             sum(job.reduce_durations) for job in jobs
         ) + sum(
-            sum(phantoms) for phantoms in self._phantom_reduces.values()
+            sum(phantoms) for phantoms in state.phantom_reduces.values()
         )
         capacity = makespan * (self.map_slots + self.reduce_slots)
         self.tracer.event(
@@ -282,16 +297,14 @@ class SlotScheduler:
             ) if capacity > 0 else 0.0,
         )
 
-    def _apply_speculation(self,
-                           jobs: list[ScheduledJob]) -> list[ScheduledJob]:
+    def _apply_speculation(self, jobs: list[ScheduledJob],
+                           state: _CallState) -> list[ScheduledJob]:
         """Cap straggling task durations; stash backup-copy phantom tasks.
 
-        Populates ``self._phantom_maps`` / ``self._phantom_reduces`` for
+        Populates ``state.phantom_maps`` / ``state.phantom_reduces`` for
         the current ``schedule()`` call; phantoms occupy slots (they are
         real backup copies burning capacity) but never gate completion.
         """
-        self._phantom_maps: dict[str, list[float]] = {}
-        self._phantom_reduces: dict[str, list[float]] = {}
         if not self.speculative:
             return jobs
         speculated: list[ScheduledJob] = []
@@ -303,14 +316,14 @@ class SlotScheduler:
             if map_backups or reduce_backups:
                 job = replace(job, map_durations=map_eff,
                               reduce_durations=reduce_eff)
-                self._phantom_maps[job.job_id] = map_backups
-                self._phantom_reduces[job.job_id] = reduce_backups
+                state.phantom_maps[job.job_id] = map_backups
+                state.phantom_reduces[job.job_id] = reduce_backups
             speculated.append(job)
         return speculated
 
     def _handle_event(self, event, by_id, timelines, remaining_maps,
                       remaining_reduces, map_queue, reduce_queue,
-                      finish_job) -> None:
+                      finish_job, state: _CallState) -> None:
         now, _, kind, payload = event
         job_id: str = payload  # type: ignore[assignment]
         if kind == "job_start":
@@ -327,15 +340,15 @@ class SlotScheduler:
                     return
                 for duration in job.reduce_durations:
                     reduce_queue.push(job_id, duration, "reduce_done")
-                for duration in self._phantom_reduces.get(job_id, ()):
+                for duration in state.phantom_reduces.get(job_id, ()):
                     reduce_queue.push(job_id, duration, "spec_reduce_done")
                 return
             for duration in job.map_durations:
                 map_queue.push(job_id, duration, "map_done")
-            for duration in self._phantom_maps.get(job_id, ()):
+            for duration in state.phantom_maps.get(job_id, ()):
                 map_queue.push(job_id, duration, "spec_map_done")
         elif kind == "map_done":
-            self._freed_map += 1
+            state.freed_map += 1
             remaining_maps[job_id] -= 1
             if remaining_maps[job_id] == 0:
                 timelines[job_id].map_finish_time = now
@@ -343,31 +356,32 @@ class SlotScheduler:
                 if job.reduce_durations:
                     for duration in job.reduce_durations:
                         reduce_queue.push(job_id, duration, "reduce_done")
-                    for duration in self._phantom_reduces.get(job_id, ()):
+                    for duration in state.phantom_reduces.get(job_id, ()):
                         reduce_queue.push(job_id, duration,
                                           "spec_reduce_done")
                 else:
                     finish_job(job_id, now)
         elif kind == "reduce_done":
-            self._freed_reduce += 1
+            state.freed_reduce += 1
             remaining_reduces[job_id] -= 1
             if remaining_reduces[job_id] == 0:
                 finish_job(job_id, now)
         elif kind == "spec_map_done":
             # Backup copy of a straggling map task released its slot.
-            self._freed_map += 1
+            state.freed_map += 1
         elif kind == "spec_reduce_done":
-            self._freed_reduce += 1
+            state.freed_reduce += 1
         else:  # pragma: no cover - defensive
             raise JobError(f"unknown event kind: {kind!r}")
 
     def _dispatch(self, now, map_queue, reduce_queue, free_map,
-                  free_reduce, push_event) -> tuple[int, int]:
+                  free_reduce, push_event, state: _CallState,
+                  ) -> tuple[int, int]:
         """Fill freed slots from the queues under the active policy."""
-        free_map += self._freed_map
-        free_reduce += self._freed_reduce
-        self._freed_map = 0
-        self._freed_reduce = 0
+        free_map += state.freed_map
+        free_reduce += state.freed_reduce
+        state.freed_map = 0
+        state.freed_reduce = 0
         while free_map > 0 and map_queue:
             job_id, duration, kind = map_queue.pop()
             free_map -= 1

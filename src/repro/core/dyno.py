@@ -115,7 +115,8 @@ class Dyno:
                  udfs: UdfRegistry | None = None,
                  metastore: StatisticsMetastore | None = None,
                  tracer: Tracer | None = None,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 plan_cache=None):
         from repro.storage.dfs import DistributedFileSystem
 
         self.config = config
@@ -133,6 +134,12 @@ class Dyno:
         self.udfs = udfs or default_registry()
         self.executor = DynoptExecutor(self.runtime, self.metastore,
                                        self.config)
+        #: optional cross-query plan cache (see repro.service.plan_cache);
+        #: its invalidation listener keys off metastore updates.
+        self.plan_cache = plan_cache
+        if plan_cache is not None:
+            self.executor.plan_cache = plan_cache
+            self.metastore.subscribe(plan_cache.on_stats_update)
 
     # -- catalog ------------------------------------------------------------------------
 

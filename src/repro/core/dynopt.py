@@ -138,6 +138,9 @@ class DynoptExecutor:
         self.tracer = runtime.tracer
         self.metrics = runtime.metrics
         self.pilot_runner = PilotRunner(runtime, metastore, config)
+        #: optional cross-query plan cache, installed by the service layer
+        #: (see :mod:`repro.service.plan_cache`). None = always optimize.
+        self.plan_cache = None
 
     # -- public ---------------------------------------------------------------------
 
@@ -570,6 +573,21 @@ class DynoptExecutor:
                   banned_broadcast: frozenset = frozenset(),
                   iteration: int = 0):
         leaf_stats = self._leaf_stats(block)
+        # Recovery replans carry banned broadcasts that are not part of the
+        # cache key; bypass the cache entirely on that (rare) path.
+        cache = self.plan_cache if not banned_broadcast else None
+        if cache is not None:
+            cached = cache.lookup(block, leaf_stats)
+            if self.tracer.enabled:
+                self.tracer.event("plan_cache", block=block.name,
+                                  iteration=iteration,
+                                  hit=cached is not None)
+            if cached is not None:
+                if self.metrics.enabled:
+                    self.metrics.inc("plan_cache.hits")
+                return cached
+            if self.metrics.enabled:
+                self.metrics.inc("plan_cache.misses")
         optimizer = JoinOptimizer(block, leaf_stats, self.config.optimizer,
                                   banned_broadcast=banned_broadcast)
         with self.tracer.span("optimize", block=block.name,
@@ -588,6 +606,9 @@ class DynoptExecutor:
             self.metrics.inc("dynopt.optimizations")
             self.metrics.observe("optimizer.sim_s",
                                  optimization.simulated_seconds)
+        if cache is not None:
+            cache.store(block, leaf_stats, optimization.plan,
+                        optimization.cost)
         return optimization
 
     def _compiler(self, prefix: str) -> PlanCompiler:
@@ -633,7 +654,8 @@ class DynoptExecutor:
                 f"intermediate:{outcome.reusable_output}", outcome.stats
             )
             block = block.substitute(
-                leaf.aliases, outcome.reusable_output, ()
+                leaf.aliases, outcome.reusable_output, (),
+                provenance=leaf.signature(),
             )
         return block
 

@@ -185,14 +185,34 @@ class PilotRunner:
                 sim_s=round(report.simulated_seconds, 6),
             )
         metrics = self.runtime.metrics
-        if metrics.enabled and report.jobs_run:
-            metrics.inc("pilot.jobs_run", report.jobs_run)
-            metrics.observe("pilot.sim_s", report.simulated_seconds)
+        if metrics.enabled:
+            if report.jobs_run:
+                metrics.inc("pilot.jobs_run", report.jobs_run)
+                metrics.observe("pilot.sim_s", report.simulated_seconds)
+            reused = sum(1 for outcome in report.outcomes.values()
+                         if outcome.reused)
+            if reused:
+                metrics.inc("pilot.reused", reused)
         return report
 
     def _run(self, block: JoinBlock, mode: str,
              reuse_statistics: bool) -> PilotReport:
         report = PilotReport(mode)
+        tracer = self.runtime.tracer
+
+        def skip(leaf: BlockLeaf, signature: str, stats: TableStats) -> None:
+            """Record a metastore hit: the leaf's pilot run is skipped."""
+            report.outcomes[signature] = PilotLeafOutcome(
+                signature, reused=True, stats=stats
+            )
+            if tracer.enabled:
+                tracer.event(
+                    "pilot_skipped",
+                    block=block.name,
+                    signature=signature,
+                    leaf=leaf.describe(),
+                    estimated_rows=round(stats.row_count, 3),
+                )
 
         pending: list[BlockLeaf] = []
         queued: set[str] = set()
@@ -202,9 +222,7 @@ class PilotRunner:
                 continue  # two leaves with identical table+predicates
             existing = self.metastore.get(signature) if reuse_statistics else None
             if existing is not None:
-                report.outcomes[signature] = PilotLeafOutcome(
-                    signature, reused=True, stats=existing
-                )
+                skip(leaf, signature, existing)
                 continue
             if not leaf.predicates:
                 # Bare scans reuse plain table statistics when present
@@ -212,9 +230,7 @@ class PilotRunner:
                 # existing statistics for R").
                 bare = self.metastore.get(f"table:{leaf.source_name}|")
                 if reuse_statistics and bare is not None:
-                    report.outcomes[signature] = PilotLeafOutcome(
-                        signature, reused=True, stats=bare
-                    )
+                    skip(leaf, signature, bare)
                     continue
             pending.append(leaf)
             queued.add(signature)

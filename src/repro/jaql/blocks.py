@@ -25,16 +25,21 @@ from dataclasses import dataclass, field, replace
 from repro.data.table import Row
 from repro.errors import PlanError, UnsupportedQueryError
 from repro.jaql.expr import (
+    And,
+    ColumnRef,
+    Comparison,
     Expr,
     Filter,
     GroupBy,
     Join,
     JoinCondition,
+    Or,
     OrderBy,
     Predicate,
     Project,
     QuerySpec,
     Scan,
+    UdfPredicate,
     conjuncts,
     qualify_row,
 )
@@ -42,6 +47,47 @@ from repro.jaql.expr import (
 #: Where a leaf's rows come from.
 SOURCE_TABLE = "table"
 SOURCE_INTERMEDIATE = "intermediate"
+
+#: Placeholder alias used in statistics signatures (Section 4.1): the same
+#: table+predicates combination must reuse statistics whatever alias the
+#: query bound it to.
+SIGNATURE_ALIAS = "$"
+
+
+def normalize_predicate_alias(predicate: Predicate,
+                              alias: str) -> Predicate:
+    """Rewrite every :class:`ColumnRef` under ``alias`` to the signature
+    placeholder, leaving literals (and refs to other aliases) untouched.
+
+    This replaces the old textual ``signature().replace(f"{alias}.", "$.")``
+    normalization, which mangled string literals that happened to contain
+    ``<alias>.`` (alias ``l`` vs literal ``'ml.example'``) -- making
+    distinct predicates collide or identical ones miss reuse.
+    """
+
+    def rewrite(column_ref: ColumnRef) -> ColumnRef:
+        if column_ref.alias != alias:
+            return column_ref
+        return ColumnRef(SIGNATURE_ALIAS, column_ref.column,
+                         column_ref.steps)
+
+    if isinstance(predicate, And):
+        return And(tuple(normalize_predicate_alias(part, alias)
+                         for part in predicate.parts))
+    if isinstance(predicate, Or):
+        return Or(tuple(normalize_predicate_alias(part, alias)
+                        for part in predicate.parts))
+    if isinstance(predicate, Comparison):
+        right = predicate.right
+        if isinstance(right, ColumnRef):
+            right = rewrite(right)
+        return Comparison(rewrite(predicate.left), predicate.op, right)
+    if isinstance(predicate, UdfPredicate):
+        return UdfPredicate(predicate.udf,
+                            tuple(rewrite(arg) for arg in predicate.args))
+    raise PlanError(
+        f"cannot normalize predicate of type {type(predicate).__name__}"
+    )
 
 
 @dataclass(frozen=True)
@@ -54,6 +100,11 @@ class BlockLeaf:
     #: base table name or intermediate DFS file name.
     source_name: str
     predicates: tuple[Predicate, ...] = ()
+    #: for an intermediate leaf that *materializes* another leaf (a pilot
+    #: output covering the whole filtered relation), the signature of that
+    #: leaf. Cross-query caches use it to treat the substituted leaf and
+    #: its origin as the same relation.
+    provenance: str | None = None
 
     def __post_init__(self) -> None:
         if not self.aliases:
@@ -62,6 +113,8 @@ class BlockLeaf:
             raise PlanError(f"unknown leaf source kind: {self.source_kind!r}")
         if self.source_kind == SOURCE_INTERMEDIATE and self.predicates:
             raise PlanError("intermediate leaves carry no local predicates")
+        if self.source_kind == SOURCE_TABLE and self.provenance is not None:
+            raise PlanError("base leaves are their own provenance")
 
     @property
     def alias(self) -> str:
@@ -88,7 +141,7 @@ class BlockLeaf:
             return f"intermediate:{self.source_name}"
         alias = self.alias
         normalized = sorted(
-            predicate.signature().replace(f"{alias}.", "$.")
+            normalize_predicate_alias(predicate, alias).signature()
             for predicate in self.predicates
         )
         return f"table:{self.source_name}|" + ";".join(normalized)
@@ -188,11 +241,14 @@ class JoinBlock:
 
     def substitute(self, executed_aliases: frozenset[str],
                    intermediate_name: str,
-                   applied_predicates: tuple[Predicate, ...]) -> "JoinBlock":
+                   applied_predicates: tuple[Predicate, ...],
+                   provenance: str | None = None) -> "JoinBlock":
         """Replace the executed sub-plan by an intermediate leaf.
 
         Conditions internal to the executed alias set disappear (they were
         evaluated by the executed jobs); ``applied_predicates`` likewise.
+        ``provenance`` marks a substitution that merely materializes one
+        existing leaf (pilot-output reuse) rather than executing a join.
         """
         covered = [
             leaf for leaf in self.leaves if leaf.aliases <= executed_aliases
@@ -206,7 +262,8 @@ class JoinBlock:
                 f"with block leaves"
             )
         new_leaf = BlockLeaf(
-            executed_aliases, SOURCE_INTERMEDIATE, intermediate_name
+            executed_aliases, SOURCE_INTERMEDIATE, intermediate_name,
+            provenance=provenance,
         )
         remaining_leaves = tuple(
             leaf for leaf in self.leaves if leaf not in covered

@@ -1,0 +1,24 @@
+"""Serving layer: concurrent multi-query execution with cross-query reuse.
+
+See :mod:`repro.service.service` for the QueryService and
+:mod:`repro.service.plan_cache` for the plan cache it shares across
+queries. ``docs/serving.md`` walks through the design.
+"""
+
+from repro.service.plan_cache import (
+    CachedOptimization,
+    PlanCache,
+    canonical_block_key,
+    statistics_fingerprint,
+)
+from repro.service.service import QueryOutcome, QueryRequest, QueryService
+
+__all__ = [
+    "CachedOptimization",
+    "PlanCache",
+    "QueryOutcome",
+    "QueryRequest",
+    "QueryService",
+    "canonical_block_key",
+    "statistics_fingerprint",
+]

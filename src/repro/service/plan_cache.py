@@ -1,0 +1,216 @@
+"""Cross-query plan cache keyed by (join-block signature, statistics
+fingerprint).
+
+DYNOPT re-optimizes a block every iteration, so a recurring query pays the
+optimizer once per executed step *every time it runs*. But the optimizer is
+a pure function of (block shape, leaf statistics): when both recur, the
+plan recurs -- the per-plan reuse argument of "One Join Order Does Not Fit
+All" applied to the serving layer. The cache therefore keys on:
+
+* the **canonical block key** -- the block's leaves, join conditions, and
+  non-local predicates, rendered *name-independently*: base leaves appear
+  as their statistics signature (Section 4.1), intermediate leaves as their
+  alias set. Per-query DFS file names (``q003.Q3.it0.j1.out``) never enter
+  the key, so iteration-k blocks of repeated queries hit;
+* the **statistics fingerprint** -- a stable hash of every contributing
+  leaf's :class:`TableStats`. A later statistics collection that changes
+  any contributing entry changes the fingerprint, so stale plans miss.
+
+Entries are additionally invalidated eagerly when the metastore reports an
+updated base-leaf entry (see :meth:`PlanCache.on_stats_update`), keeping
+the cache from accumulating unreachable fingerprints.
+
+Cached plans embed the original query's :class:`PhysLeaf` nodes, whose
+intermediate leaves carry that query's DFS file names; :meth:`lookup`
+therefore *remaps* the plan onto the current block's leaves (matched by
+alias set) before returning it.
+
+Correctness note: results in this system are plan-invariant (the
+differential oracle of earlier PRs), so a cache collision could at worst
+execute a suboptimal plan -- never return wrong rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from dataclasses import dataclass, replace
+
+from repro.jaql.blocks import JoinBlock
+from repro.optimizer.plans import PhysicalNode, PhysJoin, PhysLeaf
+from repro.stats.statistics import TableStats
+
+
+@dataclass
+class CachedOptimization:
+    """What a cache hit hands back to the DYNOPT loop.
+
+    Mirrors the fields of
+    :class:`repro.optimizer.search.OptimizationResult` the executor reads;
+    ``simulated_seconds`` is zero because a hit skips the optimizer
+    entirely -- that is the point of the cache.
+    """
+
+    plan: PhysicalNode
+    cost: float
+    groups_explored: int = 0
+    plans_considered: int = 0
+    simulated_seconds: float = 0.0
+
+
+def _leaf_identity(leaf) -> str:
+    """Name-independent relation identity of one leaf.
+
+    A pilot-substituted intermediate *is* the base leaf it materialized
+    (same rows, same statistics), so it keys under that leaf's signature;
+    cold runs (pilots substituted) and warm runs (pilots skipped, base
+    leaves intact) of one query then share cache entries. Join-result
+    intermediates have no cross-query identity beyond their alias set.
+    """
+    if leaf.is_base:
+        return leaf.signature()
+    return leaf.provenance or "intermediate"
+
+
+def canonical_block_key(block: JoinBlock) -> str:
+    """Name-independent identity of a join block's remaining work."""
+    leaf_parts = []
+    for leaf in sorted(block.leaves, key=lambda l: tuple(sorted(l.aliases))):
+        aliases = "+".join(sorted(leaf.aliases))
+        leaf_parts.append(f"{aliases}={_leaf_identity(leaf)}")
+    conditions = sorted(c.describe() for c in block.conditions)
+    predicates = sorted(p.signature() for p in block.non_local_predicates)
+    return (
+        "leaves[" + ";".join(leaf_parts) + "]"
+        "|conds[" + ";".join(conditions) + "]"
+        "|preds[" + ";".join(predicates) + "]"
+    )
+
+
+def statistics_fingerprint(block: JoinBlock,
+                           leaf_stats: dict[str, TableStats]) -> str:
+    """Stable hash over the contributing leaves' statistics."""
+    payload = {}
+    for leaf in block.leaves:
+        signature = leaf.signature()
+        identity = _leaf_identity(leaf)
+        if identity == "intermediate":
+            identity = "intermediate:" + "+".join(sorted(leaf.aliases))
+        payload[identity] = leaf_stats[signature].to_dict()
+    text = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class _Entry:
+    plan: PhysicalNode
+    cost: float
+    #: base-leaf statistics signatures this plan's estimates came from;
+    #: an update to any of them evicts the entry.
+    contributing: frozenset[str]
+
+
+class PlanCache:
+    """Thread-safe (block key, statistics fingerprint) -> plan store."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: dict[tuple[str, str], _Entry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        #: per-block-name hit counts; block names are query-prefixed in the
+        #: service, so this attributes hits to queries.
+        self.hits_by_block: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- lookup / store -------------------------------------------------------
+
+    def lookup(self, block: JoinBlock,
+               leaf_stats: dict[str, TableStats]) -> CachedOptimization | None:
+        key = (canonical_block_key(block),
+               statistics_fingerprint(block, leaf_stats))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self.hits_by_block[block.name] = \
+                self.hits_by_block.get(block.name, 0) + 1
+        plan = _remap_plan(entry.plan, block)
+        return CachedOptimization(plan=plan, cost=entry.cost)
+
+    def store(self, block: JoinBlock, leaf_stats: dict[str, TableStats],
+              plan: PhysicalNode, cost: float) -> None:
+        key = (canonical_block_key(block),
+               statistics_fingerprint(block, leaf_stats))
+        contributing = frozenset(
+            identity for identity in map(_leaf_identity, block.leaves)
+            if identity.startswith("table:")
+        )
+        with self._lock:
+            if key not in self._entries and \
+                    len(self._entries) >= self.max_entries:
+                # Drop the oldest entry (dict preserves insertion order).
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+            self._entries[key] = _Entry(plan, cost, contributing)
+
+    # -- invalidation ---------------------------------------------------------
+
+    def on_stats_update(self, signature: str, stats: TableStats) -> None:
+        """Metastore listener: a leaf's statistics were (re)collected.
+
+        Only base-leaf entries matter -- ``intermediate:`` signatures are
+        per-query scratch that never contributes to a cache key's
+        fingerprint identity across queries.
+        """
+        if not signature.startswith("table:"):
+            return
+        with self._lock:
+            stale = [key for key, entry in self._entries.items()
+                     if signature in entry.contributing]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+
+    def summary(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+            }
+
+
+def _remap_plan(plan: PhysicalNode, block: JoinBlock) -> PhysicalNode:
+    """Rebind a cached plan's leaves onto the current block's leaf objects.
+
+    Matched by alias set; base leaves are interchangeable by construction
+    (same signature), intermediate leaves differ only in their per-query
+    DFS file name.
+    """
+    by_aliases = {leaf.aliases: leaf for leaf in block.leaves}
+    return _remap_node(plan, by_aliases)
+
+
+def _remap_node(node: PhysicalNode, by_aliases) -> PhysicalNode:
+    if isinstance(node, PhysLeaf):
+        current = by_aliases[node.aliases]
+        if current == node.leaf:
+            return node
+        return replace(node, leaf=current)
+    if isinstance(node, PhysJoin):
+        left = _remap_node(node.left, by_aliases)
+        right = _remap_node(node.right, by_aliases)
+        if left is node.left and right is node.right:
+            return node
+        return replace(node, left=left, right=right)
+    return node

@@ -1,0 +1,340 @@
+"""QueryService: a concurrent multi-query front end over one shared stack.
+
+This is the serving layer the ROADMAP's north star asks for: many queries
+against ONE :class:`~repro.storage.dfs.DistributedFileSystem`, ONE
+:class:`~repro.cluster.runtime.ClusterRuntime` (so all queries compete for
+the same simulated slots), and ONE persistent
+:class:`~repro.stats.metastore.StatisticsMetastore` -- which is what makes
+Section 4.1's statistics reuse observable end to end:
+
+* **pilot-run skipping** -- before PILR, the metastore is probed by leaf
+  signature; pilots run only for unseen signatures (a ``pilot_skipped``
+  trace event per hit);
+* **plan caching** -- optimizer results are cached by (canonical join-block
+  key, statistics fingerprint) and invalidated when any contributing leaf's
+  statistics are updated (:mod:`repro.service.plan_cache`);
+* **concurrent admission** -- N driver threads execute queries in parallel,
+  sharing the cluster's slots through the (now reentrant)
+  :class:`~repro.cluster.scheduler.SlotScheduler` behind the runtime's
+  batch lock.
+
+Isolation and determinism
+-------------------------
+
+Every admitted query is renamed under a unique ``q<index>`` prefix.
+Compiled job names, DFS intermediate files, pilot counters and tracer
+spans all derive from the block (= spec) name, so two concurrent copies of
+the same query never collide in the shared namespace. Multi-block
+workloads additionally rename their intermediate *tables* (and the later
+stages' scans of them) under the same prefix.
+
+Pilot ownership is decided at admission time, serially, in submission
+order: each base-leaf signature is classified as *known* (already in the
+metastore), *claimed* (this query will run its pilot), or *waiting*
+(an earlier in-flight query claimed it; this query blocks on that query's
+completion before starting). Claims make the set of pilot jobs -- and
+therefore every reuse trace -- a function of the submitted batch alone,
+not of thread timing; results are byte-identical regardless (plans never
+change answers, only timings).
+
+Fault plans are a single-driver feature: ``run_batch`` refuses to run
+concurrently with an armed fault injector, since fault suspension during
+pilots is runtime-global.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.config import DEFAULT_CONFIG, DynoConfig
+from repro.core.dyno import Dyno, QueryExecution
+from repro.core.dynopt import MODE_DYNOPT
+from repro.data.table import Row, Table
+from repro.errors import DynoError, PlanError
+from repro.jaql.expr import QuerySpec, Scan, transform_bottom_up
+from repro.jaql.functions import UdfRegistry
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.service.plan_cache import PlanCache
+from repro.stats.metastore import StatisticsMetastore
+
+
+@dataclass
+class QueryRequest:
+    """One query submitted to the service.
+
+    ``stages`` follows :meth:`Dyno.execute_multi`: a list of
+    ``(QuerySpec or SQL text, output table name)`` pairs, the final stage's
+    output name being ``None``. Single-block queries are one-element lists.
+    """
+
+    name: str
+    stages: list[tuple[QuerySpec | str, str | None]]
+    mode: str = MODE_DYNOPT
+    strategy: str = "UNC-1"
+    pilot_mode: str = "MT"
+
+    @classmethod
+    def single(cls, name: str, query: QuerySpec | str,
+               **kwargs) -> "QueryRequest":
+        return cls(name, [(query, None)], **kwargs)
+
+    @classmethod
+    def from_workload(cls, workload, **kwargs) -> "QueryRequest":
+        """Build from a :class:`repro.workloads.queries.Workload`."""
+        return cls(workload.name, list(workload.stages), **kwargs)
+
+
+@dataclass
+class QueryOutcome:
+    """Result and reuse evidence for one query of a batch."""
+
+    index: int
+    name: str
+    #: prefixed name the query ran under (``q003.Q3``).
+    query_name: str
+    rows: list[Row] = field(default_factory=list)
+    #: pilot jobs actually executed across the query's blocks.
+    pilot_jobs: int = 0
+    #: leaf signatures whose pilots were skipped via metastore hits.
+    pilots_skipped: int = 0
+    #: optimizer invocations answered from the plan cache.
+    plan_cache_hits: int = 0
+    execution: QueryExecution | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class _Admission:
+    """Per-query state decided serially at submission time."""
+
+    index: int
+    request: QueryRequest
+    prefix: str
+    stages: list[tuple[QuerySpec, str | None]]
+    #: signatures this query runs the pilot for (it owns their events).
+    claimed: list[str] = field(default_factory=list)
+    #: signatures already in the metastore at admission.
+    known: list[str] = field(default_factory=list)
+    #: events of earlier in-flight queries that claimed shared signatures.
+    wait_for: list[threading.Event] = field(default_factory=list)
+    #: events this query must set when done (one per claimed signature).
+    own_events: list[threading.Event] = field(default_factory=list)
+    #: admission-time failure (parse/extraction error); skips execution.
+    error: str | None = None
+
+    @property
+    def query_name(self) -> str:
+        if not self.stages:
+            return f"{self.prefix}.{self.request.name}"
+        return self.stages[-1][0].name
+
+
+class QueryService:
+    """Executes batches of queries over one shared simulated platform."""
+
+    def __init__(self, tables: dict[str, Table],
+                 config: DynoConfig = DEFAULT_CONFIG,
+                 udfs: UdfRegistry | None = None,
+                 metastore: StatisticsMetastore | None = None,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 workers: int = 4,
+                 plan_cache: PlanCache | None = None):
+        if workers < 1:
+            raise PlanError("QueryService needs at least one worker")
+        self.workers = workers
+        # `or` would discard a caller's *empty* cache (len == 0 is falsy).
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.dyno = Dyno(tables, config=config, udfs=udfs,
+                         metastore=metastore, tracer=tracer,
+                         metrics=metrics, plan_cache=self.plan_cache)
+        self.tracer = self.dyno.tracer
+        self.metrics = self.dyno.metrics
+        self._batch_count = 0
+
+    # -- public ---------------------------------------------------------------
+
+    @property
+    def metastore(self) -> StatisticsMetastore:
+        return self.dyno.metastore
+
+    def run_batch(self, requests: list[QueryRequest]) -> list[QueryOutcome]:
+        """Execute ``requests`` concurrently; outcomes in submission order."""
+        if self.dyno.runtime.fault_injector is not None and self.workers > 1:
+            raise PlanError(
+                "fault injection is driver-global; run the service with "
+                "workers=1 when a fault plan is armed"
+            )
+        admissions = self._admit(requests)
+        with self.tracer.span("service.batch",
+                              queries=len(admissions),
+                              workers=self.workers) as span:
+            if self.workers == 1:
+                outcomes = [self._run_one(adm) for adm in admissions]
+            else:
+                with ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="query-driver",
+                ) as pool:
+                    futures = [pool.submit(self._run_one, adm)
+                               for adm in admissions]
+                    outcomes = [future.result() for future in futures]
+            span.set(
+                pilot_jobs=sum(o.pilot_jobs for o in outcomes),
+                pilots_skipped=sum(o.pilots_skipped for o in outcomes),
+                plan_cache_hits=sum(o.plan_cache_hits for o in outcomes),
+                errors=sum(1 for o in outcomes if not o.ok),
+            )
+        if self.metrics.enabled:
+            self.metrics.inc("service.batches")
+            self.metrics.inc("service.queries", len(outcomes))
+        return outcomes
+
+    # -- admission ------------------------------------------------------------
+
+    def _admit(self, requests: list[QueryRequest]) -> list[_Admission]:
+        """Serially classify each query's base-leaf signatures.
+
+        Processing in submission order gives deterministic pilot ownership:
+        the first query to mention an unseen signature claims its pilot;
+        later queries sharing it wait for the claimant instead of racing it.
+        """
+        claims: dict[str, threading.Event] = {}
+        admissions: list[_Admission] = []
+        batch = self._batch_count
+        self._batch_count += 1
+        for position, request in enumerate(requests):
+            prefix = f"b{batch}.q{position:03d}"
+            admission = _Admission(index=position, request=request,
+                                   prefix=prefix, stages=[])
+            try:
+                admission.stages = self._isolate_stages(prefix,
+                                                        request.stages)
+                seen: set[str] = set()
+                for spec, _ in admission.stages:
+                    extracted = self.dyno.prepare(spec)
+                    for leaf in extracted.block.base_leaves():
+                        signature = leaf.signature()
+                        if signature in seen:
+                            continue
+                        seen.add(signature)
+                        if signature in self.dyno.metastore:
+                            admission.known.append(signature)
+                            continue
+                        event = claims.get(signature)
+                        if event is None:
+                            event = threading.Event()
+                            claims[signature] = event
+                            admission.claimed.append(signature)
+                            admission.own_events.append(event)
+                        else:
+                            admission.wait_for.append(event)
+            except DynoError as error:
+                # A malformed query fails alone, not the whole batch.
+                admission.error = f"{type(error).__name__}: {error}"
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "service.admit",
+                    query=admission.query_name,
+                    request=request.name,
+                    claimed=sorted(admission.claimed),
+                    known=len(admission.known),
+                    waiting=len(admission.wait_for),
+                )
+            admissions.append(admission)
+        return admissions
+
+    def _isolate_stages(
+        self, prefix: str,
+        stages: list[tuple[QuerySpec | str, str | None]],
+    ) -> list[tuple[QuerySpec, str | None]]:
+        """Rename specs (and intermediate tables) under a per-query prefix.
+
+        Job names, DFS outputs, pilot counters and tracer spans all derive
+        from the spec name, so the prefix is what keeps concurrent copies
+        of one query apart in the shared namespace.
+        """
+        if not stages:
+            raise PlanError("query request has no stages")
+        renamed_tables = {
+            output: f"{prefix}.{output}"
+            for _, output in stages[:-1] if output is not None
+        }
+
+        def rename_scans(node):
+            if isinstance(node, Scan) and node.table in renamed_tables:
+                return Scan(renamed_tables[node.table], node.alias)
+            return node
+
+        isolated: list[tuple[QuerySpec, str | None]] = []
+        for spec, output in stages:
+            if isinstance(spec, str):
+                spec = self.dyno.parse(spec, name="query")
+            root = transform_bottom_up(spec.root, rename_scans)
+            isolated.append((
+                QuerySpec(f"{prefix}.{spec.name}", root, spec.description),
+                renamed_tables.get(output) if output is not None else None,
+            ))
+        return isolated
+
+    # -- execution ------------------------------------------------------------
+
+    def _run_one(self, admission: _Admission) -> QueryOutcome:
+        request = admission.request
+        outcome = QueryOutcome(admission.index, request.name,
+                               admission.query_name)
+        try:
+            if admission.error is not None:
+                outcome.error = admission.error
+                return outcome
+            for event in admission.wait_for:
+                event.wait()
+            execution = self.dyno.execute_multi(
+                admission.stages,
+                mode=request.mode,
+                strategy=request.strategy,
+                pilot_mode=request.pilot_mode,
+            )
+            outcome.execution = execution
+            outcome.rows = execution.rows
+            for block_result in execution.block_results:
+                report = block_result.pilot
+                if report is None:
+                    continue
+                outcome.pilot_jobs += report.jobs_run
+                outcome.pilots_skipped += sum(
+                    1 for leaf_outcome in report.outcomes.values()
+                    if leaf_outcome.reused
+                )
+            outcome.plan_cache_hits = sum(
+                count
+                for block, count in self.plan_cache.hits_by_block.items()
+                if block.startswith(f"{admission.prefix}.")
+            )
+        except Exception as error:  # noqa: BLE001 - one query must not
+            # take down the batch; UDFs run arbitrary user code.
+            outcome.error = f"{type(error).__name__}: {error}"
+        finally:
+            # Claims are coordination, not correctness: if this query died
+            # before collecting its claimed statistics, waiters find the
+            # metastore still empty and simply run the pilots themselves.
+            for event in admission.own_events:
+                event.set()
+        if self.tracer.enabled:
+            self.tracer.event(
+                "service.complete",
+                query=admission.query_name,
+                rows=len(outcome.rows),
+                pilot_jobs=outcome.pilot_jobs,
+                pilots_skipped=outcome.pilots_skipped,
+                plan_cache_hits=outcome.plan_cache_hits,
+                error=outcome.error,
+            )
+        return outcome

@@ -5,58 +5,90 @@ the *signature* of the leaf expression that produced them, so recurring
 queries -- or the same relation+predicates appearing in different queries --
 skip redundant pilot runs. The paper stores statistics in a file; we do the
 same (JSON), with an in-memory dict as the hot path.
+
+The store is shared by every driver thread of a
+:class:`~repro.service.QueryService`, so all accessors take a lock and
+``save()`` serializes a snapshot -- a concurrent ``put()`` used to blow up
+the save with "dict changed size during iteration". Listeners registered
+with :meth:`subscribe` observe every ``put`` (the service's plan cache uses
+this to drop plans whose contributing leaf statistics changed).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.errors import StatisticsError
 from repro.stats.statistics import TableStats
 
 
 class StatisticsMetastore:
-    """Signature-keyed store of :class:`TableStats` with file persistence."""
+    """Signature-keyed store of :class:`TableStats` with file persistence.
+
+    Thread-safe: all accessors hold an internal lock, so concurrent query
+    drivers can ``put``/``get``/``save`` without corrupting the store.
+    """
 
     def __init__(self) -> None:
         self._entries: dict[str, TableStats] = {}
+        self._lock = threading.RLock()
+        self._listeners: list[Callable[[str, TableStats], None]] = []
 
     # -- dict-like access -------------------------------------------------------
 
     def __contains__(self, signature: str) -> bool:
-        return signature in self._entries
+        with self._lock:
+            return signature in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __iter__(self) -> Iterator[str]:
-        return iter(sorted(self._entries))
+        with self._lock:
+            return iter(sorted(self._entries))
 
     def get(self, signature: str) -> TableStats | None:
-        return self._entries.get(signature)
+        with self._lock:
+            return self._entries.get(signature)
 
     def put(self, signature: str, stats: TableStats) -> None:
         if not signature:
             raise StatisticsError("empty statistics signature")
-        self._entries[signature] = stats
+        with self._lock:
+            self._entries[signature] = stats
+            listeners = tuple(self._listeners)
+        # Notify outside the lock so a listener may re-enter the store.
+        for listener in listeners:
+            listener(signature, stats)
 
     def invalidate(self, signature: str) -> None:
-        self._entries.pop(signature, None)
+        with self._lock:
+            self._entries.pop(signature, None)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
+
+    def subscribe(self, listener: Callable[[str, TableStats], None]) -> None:
+        """Register a callback invoked after every ``put(signature, stats)``."""
+        with self._lock:
+            self._listeners.append(listener)
 
     # -- persistence -------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
         """Write atomically: a failure mid-write (disk full, crash, bad
         entry) must not clobber the previous metastore file."""
+        with self._lock:
+            snapshot = dict(self._entries)
         payload = {
             signature: stats.to_dict()
-            for signature, stats in self._entries.items()
+            for signature, stats in snapshot.items()
         }
         target = Path(path)
         staging = target.with_name(target.name + ".tmp")

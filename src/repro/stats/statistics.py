@@ -68,9 +68,15 @@ class Histogram:
         boundaries = [numeric[0][0]]
         counts: list[int] = []
         in_bucket = 0
-        for value, count in numeric:
+        last_index = len(numeric) - 1
+        for index, (value, count) in enumerate(numeric):
             in_bucket += count
-            if in_bucket >= per_bucket and len(counts) < buckets - 1:
+            # Never close a bucket on the final value: the unconditional
+            # append below owns it. (Closing there duplicated the last
+            # boundary and emitted a zero-width, zero-count trailing
+            # bucket.)
+            if (index < last_index and in_bucket >= per_bucket
+                    and len(counts) < buckets - 1):
                 boundaries.append(value)
                 counts.append(in_bucket)
                 in_bucket = 0

@@ -1,0 +1,64 @@
+"""Mixed serving workload: TPC-H plus the weblog domain, with repeats.
+
+The QueryService's acceptance scenario (ISSUE 4): a batch of queries from
+*both* generated domains against one shared platform, with repeated
+queries so Section 4.1's statistics reuse and the plan cache have
+something to hit. The batch is a function only of its arguments -- every
+factory call builds identical specs, and leaf/UDF signatures are stable
+across calls (``Udf.signature()`` is ``name@version``), which is exactly
+what cross-query reuse keys on.
+"""
+
+from __future__ import annotations
+
+from repro.data.table import Table
+from repro.data.tpch import generate_tpch
+from repro.jaql.functions import UdfRegistry
+from repro.service.service import QueryRequest
+from repro.workloads.queries import Workload, q3, q10
+from repro.workloads.weblogs import (
+    generate_weblogs,
+    weblog_engagement,
+    weblog_premium_blink,
+)
+
+#: factories of the batch, in submission order; repeats are the point.
+MIXED_SEQUENCE = (
+    q3,                    # cold: pilots for customer/orders/lineitem
+    weblog_engagement,     # cold: pilots for pageviews/users/pages
+    q3,                    # warm: all leaf signatures known
+    weblog_engagement,     # warm
+    q10,                   # partially warm (shares orders/lineitem leaves
+                           # only if predicates match -- they don't, so
+                           # nation is its one fresh single-table overlap)
+    weblog_premium_blink,  # partially warm (fresh pageviews predicates)
+    q3,                    # warm again: plan-cache territory
+)
+
+
+def mixed_tables(scale_factor: float = 0.05, seed: int = 2014,
+                 weblog_events: int = 4000) -> dict[str, Table]:
+    """One catalog holding both domains (names never collide)."""
+    tables = dict(generate_tpch(scale_factor, seed=seed).tables)
+    tables.update(generate_weblogs(event_count=weblog_events, seed=seed))
+    return tables
+
+
+def mixed_udfs(workloads: list[Workload] | None = None) -> UdfRegistry:
+    """Union of the batch's UDF registries (same-name UDFs are identical
+    by construction -- each factory builds ``name@version``-stable UDFs)."""
+    if workloads is None:
+        workloads = [factory() for factory in MIXED_SEQUENCE]
+    merged = UdfRegistry()
+    for workload in workloads:
+        for name in workload.udfs.names():
+            merged.register(workload.udfs.get(name), replace=True)
+    return merged
+
+
+def mixed_batch() -> tuple[list[QueryRequest], UdfRegistry]:
+    """The acceptance batch: 7 requests over 4 distinct queries."""
+    workloads = [factory() for factory in MIXED_SEQUENCE]
+    requests = [QueryRequest.from_workload(workload)
+                for workload in workloads]
+    return requests, mixed_udfs(workloads)

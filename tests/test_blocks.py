@@ -202,3 +202,82 @@ class TestSubstitute:
         final = block.substitute(frozenset(("a", "b", "c")), "out", ())
         assert len(final.leaves) == 1
         assert final.conditions == ()
+
+
+class TestSignatureLiteralNormalization:
+    """Regression: signatures used to be normalized by a raw substring
+    ``replace(f"{alias}.", "$.")`` over the rendered predicate, which
+    mangled string literals containing ``<alias>.`` -- alias ``l`` inside
+    the literal ``'ml.example'`` became ``'m$.example'``, so distinct
+    predicates could collide and identical ones could miss reuse."""
+
+    def leaf(self, alias, predicate):
+        return BlockLeaf(frozenset((alias,)), SOURCE_TABLE, "t",
+                         (predicate,))
+
+    def test_literal_containing_alias_dot_survives_intact(self):
+        pred = Comparison(ref("l", "domain"), "=", "ml.example")
+        signature = self.leaf("l", pred).signature()
+        assert "ml.example" in signature
+        assert "$.example" not in signature
+
+    def test_old_collision_pair_now_distinct(self):
+        # Under substring replacement both rendered as ($.x = 'a$.b').
+        leaf_l = self.leaf("l", Comparison(ref("l", "x"), "=", "al.b"))
+        leaf_m = self.leaf("m", Comparison(ref("m", "x"), "=", "a$.b"))
+        assert leaf_l.signature() != leaf_m.signature()
+
+    def test_alias_independence_still_holds_with_tricky_literal(self):
+        pred_l = Comparison(ref("l", "x"), "=", "zl.q")
+        pred_k = Comparison(ref("k", "x"), "=", "zl.q")
+        assert self.leaf("l", pred_l).signature() == \
+            self.leaf("k", pred_k).signature()
+
+    def test_compound_and_udf_predicates_normalize(self):
+        from repro.jaql.expr import And, Or, UdfPredicate
+        from repro.jaql.functions import Udf
+
+        udf = Udf("touch", lambda value: True)
+        pred_a = And((
+            Or((Comparison(ref("a", "x"), "=", "ra.w"),
+                Comparison(ref("a", "y"), "<", 3))),
+            UdfPredicate(udf, (ref("a", "z"),)),
+        ))
+        pred_b = And((
+            Or((Comparison(ref("b", "x"), "=", "ra.w"),
+                Comparison(ref("b", "y"), "<", 3))),
+            UdfPredicate(udf, (ref("b", "z"),)),
+        ))
+        assert self.leaf("a", pred_a).signature() == \
+            self.leaf("b", pred_b).signature()
+        assert "ra.w" in self.leaf("a", pred_a).signature()
+
+    def test_column_to_column_comparison_normalizes_both_sides(self):
+        pred_a = Comparison(ref("a", "x"), "<", ref("a", "y"))
+        pred_b = Comparison(ref("b", "x"), "<", ref("b", "y"))
+        assert self.leaf("a", pred_a).signature() == \
+            self.leaf("b", pred_b).signature()
+
+
+class TestLeafProvenance:
+    def test_base_leaf_rejects_provenance(self):
+        with pytest.raises(PlanError):
+            BlockLeaf(frozenset(("a",)), SOURCE_TABLE, "t",
+                      provenance="table:t|")
+
+    def test_substitute_carries_provenance(self):
+        pred = Comparison(ref("a", "color"), "=", "red")
+        leaf_a = BlockLeaf(frozenset(("a",)), SOURCE_TABLE, "t", (pred,))
+        leaf_b = BlockLeaf(frozenset(("b",)), SOURCE_TABLE, "u")
+        block = JoinBlock(
+            "q", (leaf_a, leaf_b),
+            (JoinCondition(ref("a", "id"), ref("b", "aid")),),
+        )
+        updated = block.substitute(frozenset(("a",)), "pilot0.out", (),
+                                   provenance=leaf_a.signature())
+        substituted = updated.leaf_for("a")
+        assert not substituted.is_base
+        assert substituted.provenance == leaf_a.signature()
+        # Join-result substitutions carry none.
+        plain = block.substitute(frozenset(("a",)), "pilot0.out", ())
+        assert plain.leaf_for("a").provenance is None

@@ -114,3 +114,76 @@ class TestPersistence:
         store.save(path)
         restored = StatisticsMetastore.load(path)
         assert list(restored) == ["only"]
+
+
+class TestThreadSafety:
+    """Regression: save() used to iterate the live entries dict while
+    serializing, so a concurrent put() raised "dictionary changed size
+    during iteration" and could leave a truncated file behind."""
+
+    def test_writers_racing_save(self, tmp_path):
+        import sys
+        import threading
+
+        path = tmp_path / "stats.json"
+        store = StatisticsMetastore()
+        for index in range(2000):
+            store.put(f"seed-{index}", TableStats(float(index), 1.0))
+
+        errors = []
+        writers_done = threading.Event()
+        stats = TableStats(1.0, 2.0)
+
+        def writer(worker):
+            try:
+                for index in range(20000):
+                    store.put(f"w{worker}-{index}", stats)
+            except Exception as error:  # pragma: no cover - the bug
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(worker,))
+                   for worker in range(4)]
+
+        def run_writers():
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            writers_done.set()
+
+        # A tiny switch interval widens the race window enough that the
+        # old unlocked save() reliably died with "dictionary changed size
+        # during iteration".
+        interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        driver = threading.Thread(target=run_writers)
+        driver.start()
+        try:
+            while not writers_done.is_set():
+                store.save(path)
+        except Exception as error:  # pragma: no cover - the bug
+            errors.append(error)
+        finally:
+            driver.join()
+            sys.setswitchinterval(interval)
+        assert errors == []
+        # Every save wrote a loadable snapshot; the final one is complete.
+        store.save(path)
+        restored = StatisticsMetastore.load(path)
+        assert len(restored) == 2000 + 4 * 20000
+        assert "seed-0" in restored and "w3-19999" in restored
+
+    def test_subscribers_see_every_put(self):
+        seen = []
+        store = StatisticsMetastore()
+        store.subscribe(lambda signature, stats: seen.append(signature))
+        store.put("a", TableStats(1.0, 1.0))
+        store.put("b", TableStats(2.0, 2.0))
+        store.put("a", TableStats(3.0, 3.0))  # updates notify too
+        assert seen == ["a", "b", "a"]
+
+    def test_listener_may_reenter_the_store(self):
+        store = StatisticsMetastore()
+        store.subscribe(lambda signature, stats: len(store))
+        store.put("a", TableStats(1.0, 1.0))  # must not deadlock
+        assert "a" in store

@@ -331,3 +331,49 @@ class TestHistogram:
         )
         assert selectivity == pytest.approx(0.9, abs=0.1)
         # Interpolation alone would have said ~0.5.
+
+
+class TestHistogramProperties:
+    """Regression: ``from_counts`` could close its last bucket on the final
+    value and then append the final boundary again -- producing a duplicated
+    boundary with a zero-count, zero-width trailing bucket that distorted
+    ``fraction_below`` at the domain's upper edge."""
+
+    @given(
+        counts=st.dictionaries(
+            st.integers(min_value=-1000, max_value=1000),
+            st.integers(min_value=1, max_value=50),
+            min_size=2, max_size=60,
+        ),
+        buckets=st.integers(min_value=2, max_value=12),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_shape_invariants(self, counts, buckets):
+        from repro.stats.statistics import Histogram
+
+        histogram = Histogram.from_counts(counts, buckets=buckets)
+        assert histogram is not None
+        # One more boundary than buckets; boundaries non-decreasing.
+        assert len(histogram.boundaries) == len(histogram.counts) + 1
+        assert list(histogram.boundaries) == sorted(histogram.boundaries)
+        # Every value is accounted for exactly once.
+        assert sum(histogram.counts) == sum(counts.values())
+        assert histogram.total == sum(counts.values())
+        # The trailing bucket owns the maximum value: it can never be a
+        # zero-count artifact.
+        assert histogram.counts[-1] > 0
+        # End boundaries bracket the data exactly.
+        assert histogram.boundaries[0] == float(min(counts))
+        assert histogram.boundaries[-1] == float(max(counts))
+
+    def test_regression_final_value_closing_a_bucket(self):
+        """Minimal failing case of the old code: the heavy final value
+        closed a bucket AND was appended as the final boundary, yielding
+        boundaries [0, 0, 10, 10] with counts [1, 5, 0]."""
+        from repro.stats.statistics import Histogram
+
+        histogram = Histogram.from_counts({0: 1, 10: 5}, buckets=4)
+        assert histogram is not None
+        assert histogram.counts[-1] > 0
+        assert histogram.boundaries[-2] != histogram.boundaries[-1]
+        assert sum(histogram.counts) == 6
