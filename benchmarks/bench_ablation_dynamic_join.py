@@ -6,10 +6,8 @@ all-repartition Q9' plan as planned and again with the dynamic operator
 flipping joins whose inputs actually fit in memory.
 """
 
-from dataclasses import replace
-
 from repro.bench.harness import dataset_for_paper_sf
-from repro.config import DEFAULT_CONFIG, OptimizerConfig
+from repro.config import OptimizerConfig
 from repro.core.baselines import oracle_leaf_stats
 from repro.core.dynamic_join import DynamicJoinExecutor
 from repro.core.dyno import Dyno

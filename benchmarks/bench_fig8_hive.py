@@ -6,7 +6,7 @@ because Hive's map join distributes the build side once per node via the
 DistributedCache.
 """
 
-from repro.bench.experiments import figure6_udf_selectivity, figure8_hive
+from repro.bench.experiments import figure8_hive
 
 from .conftest import record, run_once
 

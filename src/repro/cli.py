@@ -39,6 +39,17 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be > 0 (a {value}-byte memory budget admits nothing)")
+    return value
+
+
 def _non_negative_int(text: str) -> int:
     try:
         value = int(text)
@@ -93,6 +104,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--parallel", action="store_true",
                         help="run dependency-free leaf jobs on a worker "
                              "pool (results identical to serial execution)")
+    parser.add_argument("--task-memory", type=_positive_int, default=None,
+                        metavar="BYTES",
+                        help="per-task memory budget Mmax in bytes: caps "
+                             "broadcast build sides and the spill join's "
+                             "resident share (default: config)")
+    parser.add_argument("--cluster-memory", type=_positive_int, default=None,
+                        metavar="BYTES",
+                        help="cluster-wide memory pool in bytes, governing "
+                             "concurrent job and query admission (default: "
+                             "map slots x task memory)")
     parser.add_argument("--fault-plan", metavar="PATH",
                         help="arm a JSON fault plan (see docs/testing.md): "
                              "inject deterministic task/job failures, "
@@ -135,6 +156,14 @@ def _resolve_workload(args: argparse.Namespace):
     return None
 
 
+def _apply_memory(config, args: argparse.Namespace):
+    """Apply --task-memory / --cluster-memory overrides, if any."""
+    if args.task_memory is None and args.cluster_memory is None:
+        return config
+    return config.with_memory(task_memory_bytes=args.task_memory,
+                              cluster_memory_bytes=args.cluster_memory)
+
+
 def _run_service(args: argparse.Namespace, out) -> int:
     """--batch: execute a mixed workload through the QueryService."""
     from repro.service import QueryService
@@ -150,7 +179,7 @@ def _run_service(args: argparse.Namespace, out) -> int:
         request.strategy = args.strategy
         request.pilot_mode = args.pilot_mode
 
-    config = DEFAULT_CONFIG.with_backend(args.backend)
+    config = _apply_memory(DEFAULT_CONFIG.with_backend(args.backend), args)
     if args.parallel:
         config = config.with_parallel_execution()
     tracer = Tracer(JsonLinesSink(args.trace)) if args.trace else None
@@ -216,7 +245,7 @@ def main(argv: list[str] | None = None,
     dataset = generate_tpch(scale_factor, seed=args.seed)
 
     workload = _resolve_workload(args)
-    config = DEFAULT_CONFIG.with_backend(args.backend)
+    config = _apply_memory(DEFAULT_CONFIG.with_backend(args.backend), args)
     if args.parallel:
         config = config.with_parallel_execution()
     if args.fault_plan:

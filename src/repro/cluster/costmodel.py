@@ -100,3 +100,21 @@ class ClusterCostModel:
 
     def probe_seconds(self, probe_records: int) -> float:
         return probe_records * self.config.probe_seconds_per_record
+
+    # -- hybrid hash join spill ----------------------------------------------
+
+    def spill_seconds(self, spilled_bytes: int) -> float:
+        """Time to write spilled partitions to local disk and read them back.
+
+        Spill scratch uses the DFS write rate out and the sequential read
+        rate back in -- same media as job output, no network hop.
+        """
+        cfg = self.config
+        return (spilled_bytes / cfg.write_bytes_per_second
+                + spilled_bytes / cfg.read_bytes_per_second)
+
+    def spill_seconds_per_byte(self) -> float:
+        """Per-byte spill cost, for charging the probe side's second pass."""
+        cfg = self.config
+        return (1.0 / cfg.write_bytes_per_second
+                + 1.0 / cfg.read_bytes_per_second)

@@ -42,6 +42,7 @@ class Counters:
     OUTPUT_BYTES = "OUTPUT_BYTES"
     SHUFFLE_BYTES = "SHUFFLE_BYTES"
     BROADCAST_BYTES = "BROADCAST_BYTES"
+    SPILLED_BYTES = "SPILLED_BYTES"
 
     def __init__(self) -> None:
         self._groups: dict[str, CounterGroup] = {}

@@ -44,7 +44,7 @@ import hashlib
 import json
 import random
 import threading
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from typing import Callable, Iterable
 
 from repro.errors import FaultPlanError, JobFaultInjectedError, \

@@ -105,6 +105,13 @@ class BroadcastBuild:
     description: str = ""
     rows: list[Row] | None = None
     loaded_bytes: int = 0
+    #: True when the plan chose the spillable hybrid hash join for this
+    #: build: overflowing task memory is *expected* and handled by
+    #: partitioning to disk rather than treated as a misestimate.
+    spillable: bool = False
+    #: optimizer's byte estimate for the loaded build (0 when unknown);
+    #: feeds the job's declared memory demand before execution.
+    declared_bytes: int = 0
 
     def load(self, raw_rows: list[Row]) -> None:
         self.rows = self.loader(raw_rows)
@@ -143,6 +150,11 @@ class MapReduceJob:
     stats_columns: list[str] = field(default_factory=list)
     #: free-form description used in plan printouts and experiment logs.
     description: str = ""
+    #: declared build/buffer memory demand (bytes), derived from collected
+    #: statistics by the compiler; the slot scheduler charges it against
+    #: the cluster memory pool while the job runs. 0 means "negligible"
+    #: (pilot runs, plain scans) and never waits for memory.
+    memory_demand_bytes: int = 0
 
     def __post_init__(self) -> None:
         if not self.inputs:

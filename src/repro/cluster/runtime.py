@@ -8,11 +8,21 @@ per-job timelines and the batch makespan.
 
 The runtime also reproduces two paper-critical behaviours:
 
-* broadcast-join build sides are checked against the task memory budget and
-  the job *fails* on overflow (Jaql has no spill path, Section 2.2.1);
+* broadcast-join build sides are checked against the task memory budget;
+  a build overflowing by up to ``spill_overflow_factor`` degrades in
+  place to a spilling hybrid hash join (partitions written to and re-read
+  from task-local disk, charged as extra I/O time), while a pathological
+  overflow beyond the margin still *fails* the job as Jaql would
+  (Section 2.2.1) and takes the executor's ban-and-replan path;
 * when a job declares ``stats_columns``, every task accumulates partial
   statistics over its output and publishes them through the coordination
   service; the client merges them after the job (Section 5.4).
+
+Memory governance: every job carries a declared memory demand
+(:attr:`repro.cluster.job.MapReduceJob.memory_demand_bytes`); the slot
+scheduler charges the larger of the declaration and the actually loaded
+in-memory build bytes against its cluster memory pool, so concurrent
+jobs queue (deterministic FIFO) when the pool is exhausted.
 """
 
 from __future__ import annotations
@@ -83,6 +93,12 @@ class JobResult:
     #: driver wall-clock spent in this job's data pass (seconds); only
     #: measured while tracing/metrics are enabled, else 0.0.
     driver_wall_seconds: float = 0.0
+    #: bytes spilled to task-local disk by the hybrid hash join (build
+    #: partitions plus the probe side's second pass); 0 for in-memory runs.
+    spilled_bytes: int = 0
+    #: build bytes actually resident in task memory (after spilling);
+    #: feeds the scheduler's per-job memory charge.
+    in_memory_build_bytes: int = 0
 
     @property
     def elapsed_seconds(self) -> float:
@@ -114,6 +130,24 @@ class _JobDataPass:
     splits_processed: int
     splits_total: int
     driver_wall_seconds: float = 0.0
+    spilled_bytes: int = 0
+    in_memory_build_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class _BuildLoad:
+    """Outcome of loading a job's broadcast build sides.
+
+    ``spill_fraction`` is the share of the build that did not fit in task
+    memory; the probe side pays a second pass over the same fraction of
+    its input (Grace-style hybrid hash join).
+    """
+
+    per_task_seconds: float = 0.0
+    loaded_bytes: int = 0
+    spilled_bytes: int = 0
+    spill_fraction: float = 0.0
+    in_memory_bytes: int = 0
 
 
 @dataclass
@@ -155,6 +189,7 @@ class ClusterRuntime:
             speculative=config.cluster.speculative_execution,
             speculative_threshold=config.cluster.speculative_slowdown_threshold,
             tracer=self.tracer,
+            memory_pool_bytes=config.cluster.effective_cluster_memory_bytes,
         )
         self._parallel = ParallelJobExecutor(config.executor)
         #: armed fault schedule, or None -- with no plan armed the fault
@@ -284,6 +319,10 @@ class ClusterRuntime:
                     injector.consume_penalty(job.name) if injector else 0.0
                 ),
                 depends_on=list(dependencies.get(job.name, [])),
+                memory_bytes=max(
+                    job.memory_demand_bytes,
+                    results[job.name].in_memory_build_bytes,
+                ),
             )
             for job in jobs
         ]
@@ -325,6 +364,16 @@ class ClusterRuntime:
                                 result.driver_wall_seconds)
                 metrics.observe("job.sim_elapsed_s",
                                 timeline.elapsed if timeline else 0.0)
+                if result.spilled_bytes:
+                    metrics.inc("bytes.spilled", result.spilled_bytes)
+            if result.spilled_bytes and tracer.enabled:
+                tracer.event(
+                    "spill",
+                    job=job.name,
+                    spilled_bytes=result.spilled_bytes,
+                    in_memory_build_bytes=result.in_memory_build_bytes,
+                    task_memory_bytes=self.config.cluster.task_memory_bytes,
+                )
             if tracer.enabled:
                 tracer.event(
                     "job",
@@ -359,16 +408,25 @@ class ClusterRuntime:
 
     def _load_broadcast_sides(
         self, job: MapReduceJob, counters: Counters, num_map_tasks: int
-    ) -> float:
-        """Load build sides, enforce task memory, return per-task seconds.
+    ) -> _BuildLoad:
+        """Load build sides, enforce task memory, return the load outcome.
 
         The read cost covers the raw build files (every task re-reads them
         under the Jaql backend); the memory check covers the *loaded* rows,
         i.e. after the build side's local predicates ran -- that is what the
         in-memory hash table actually holds (Section 2.2.1).
+
+        A build overflowing ``task_memory_bytes`` by at most
+        ``spill_overflow_factor`` *degrades in place*: the task keeps a
+        budget-sized share in memory and Grace-partitions the rest to
+        task-local disk, paying spill I/O time (results are unchanged --
+        rows stay loaded; only time and byte accounting differ). Overflow
+        beyond the margin is a pathological misestimate and still raises
+        :class:`BroadcastBuildOverflowError`, which the dynamic executor
+        turns into a ban-and-replan.
         """
         if not job.broadcast_builds:
-            return 0.0
+            return _BuildLoad()
         read_bytes = 0
         loaded_bytes = 0
         loaded_records = 0
@@ -379,15 +437,32 @@ class ClusterRuntime:
             loaded_bytes += build.loaded_bytes
             loaded_records += len(build.built_rows())
         counters.increment("map", Counters.BROADCAST_BYTES, read_bytes)
-        budget = self.config.cluster.task_memory_bytes
+        cluster = self.config.cluster
+        budget = cluster.task_memory_bytes
+        spilled = 0
         if loaded_bytes > budget:
-            raise BroadcastBuildOverflowError(
-                loaded_bytes, budget, job.name,
-                "; ".join(f"{build.description}={build.loaded_bytes}B"
-                          for build in job.broadcast_builds),
-            )
-        return self.cost_model.per_task_build_seconds(
+            if loaded_bytes > budget * cluster.spill_overflow_factor:
+                raise BroadcastBuildOverflowError(
+                    loaded_bytes, budget, job.name,
+                    "; ".join(f"{build.description}={build.loaded_bytes}B"
+                              for build in job.broadcast_builds),
+                )
+            spilled = loaded_bytes - budget
+            counters.increment("map", Counters.SPILLED_BYTES, spilled)
+            self.dfs.charge_spill(spilled, spilled)
+        build_seconds = self.cost_model.per_task_build_seconds(
             read_bytes, loaded_records, num_map_tasks, self.config.backend
+        )
+        if spilled:
+            # Overflow partitions are written once during the build and
+            # read back once while probing.
+            build_seconds += self.cost_model.spill_seconds(spilled)
+        return _BuildLoad(
+            per_task_seconds=build_seconds,
+            loaded_bytes=loaded_bytes,
+            spilled_bytes=spilled,
+            spill_fraction=spilled / loaded_bytes if spilled else 0.0,
+            in_memory_bytes=min(loaded_bytes, budget),
         )
 
     def _task_attempts(self, job_name: str,
@@ -489,7 +564,11 @@ class ClusterRuntime:
         splits = job.splits if job.splits is not None else self._all_splits(job)
         splits_total = len(splits)
 
-        build_seconds = self._load_broadcast_sides(job, counters, len(splits))
+        build = self._load_broadcast_sides(job, counters, len(splits))
+        build_seconds = build.per_task_seconds
+        spill_per_byte = (self.cost_model.spill_seconds_per_byte()
+                          if build.spill_fraction else 0.0)
+        probe_spill_bytes = 0
 
         #: keyed map output with each value's byte size carried alongside.
         map_outputs: list[tuple[object, Row, int]] = []
@@ -541,12 +620,18 @@ class ClusterRuntime:
                 output_records=len(emitted),
                 extra_cpu_seconds=context.extra_cpu_seconds + stats_cpu,
             )
-            map_task_seconds.append(attempts(
-                self.cost_model.map_task_seconds(
-                    work, writes_to_dfs=job.is_map_only,
-                    build_seconds=build_seconds,
-                )
-            ))
+            task_seconds = self.cost_model.map_task_seconds(
+                work, writes_to_dfs=job.is_map_only,
+                build_seconds=build_seconds,
+            )
+            if build.spill_fraction:
+                # Hybrid hash join: the probe rows hashing to spilled
+                # partitions are staged to disk and joined in a second
+                # pass over this split's share of the input.
+                task_spill = int(split.size_bytes * build.spill_fraction)
+                probe_spill_bytes += task_spill
+                task_seconds += task_spill * spill_per_byte
+            map_task_seconds.append(attempts(task_seconds))
 
         reduce_task_seconds: list[float] = []
         if not job.is_map_only:
@@ -562,6 +647,10 @@ class ClusterRuntime:
             # failure while committing the job -- the driver-side finalize
             # itself stays deterministic for the parallel executor.
             attempt.boundary("finalize")
+        if probe_spill_bytes:
+            counters.increment("map", Counters.SPILLED_BYTES,
+                               probe_spill_bytes)
+            self.dfs.charge_spill(probe_spill_bytes, probe_spill_bytes)
         return _JobDataPass(
             counters=counters,
             output_rows=output_rows,
@@ -569,6 +658,8 @@ class ClusterRuntime:
             reduce_task_seconds=reduce_task_seconds,
             splits_processed=splits_processed,
             splits_total=splits_total,
+            spilled_bytes=build.spilled_bytes + probe_spill_bytes,
+            in_memory_build_bytes=build.in_memory_bytes,
         )
 
     def _finalize_job(self, job: MapReduceJob,
@@ -599,6 +690,8 @@ class ClusterRuntime:
             splits_total=data.splits_total,
             collected_stats=collected,
             driver_wall_seconds=data.driver_wall_seconds,
+            spilled_bytes=data.spilled_bytes,
+            in_memory_build_bytes=data.in_memory_build_bytes,
         )
 
     def _run_reduce_phase(

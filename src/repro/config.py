@@ -76,6 +76,18 @@ class ClusterConfig:
 
     #: memory available to a task for broadcast-join build sides (bytes).
     task_memory_bytes: int = 96 * 1024
+    #: degrade-in-place margin: a build side overflowing
+    #: ``task_memory_bytes`` by up to this factor spills partitions to the
+    #: simulated DFS (hybrid hash join) instead of aborting the job;
+    #: beyond it the overflow is a pathological misestimate and still
+    #: raises :class:`repro.errors.BroadcastBuildOverflowError` (which the
+    #: dynamic executor turns into a ban-and-replan).
+    spill_overflow_factor: float = 4.0
+    #: cluster-wide memory pool shared by concurrently scheduled jobs
+    #: (bytes). 0 derives the pool from the topology:
+    #: ``total_map_slots * task_memory_bytes`` -- every map slot can hold
+    #: one task-sized working set, as on the real cluster.
+    cluster_memory_bytes: int = 0
 
     #: slot scheduling policy: "fifo" (Hadoop 1.x default, used by the
     #: paper) or "fair" (Section 6.3's future-work experiment).
@@ -113,6 +125,13 @@ class ClusterConfig:
     def total_reduce_slots(self) -> int:
         return self.worker_nodes * self.reduce_slots_per_node
 
+    @property
+    def effective_cluster_memory_bytes(self) -> int:
+        """The scheduler's memory pool: explicit, or slots x task memory."""
+        if self.cluster_memory_bytes > 0:
+            return self.cluster_memory_bytes
+        return self.total_map_slots * self.task_memory_bytes
+
 
 @dataclass(frozen=True)
 class OptimizerConfig:
@@ -140,6 +159,17 @@ class OptimizerConfig:
     #: pilot runs; conservative optimizers use a much larger one
     #: (see repro.core.baselines.RELOPT_SAFETY_FACTOR).
     broadcast_safety_factor: float = 1.3
+    #: per-byte cost of spilling one partitioned byte to disk and reading
+    #: it back (hybrid hash join). Sits between ``cprobe`` and ``crep`` so
+    #: a marginally oversized build degrades to a spilling hash join
+    #: rather than a full repartition, but spilling *everything* never
+    #: beats the repartition join.
+    cspill: float = 4.0
+    #: how far past ``Mmax`` a build side may be (estimated, after the
+    #: safety factor) for the spillable hybrid hash join to stay
+    #: applicable. Matches the runtime's degrade-in-place margin
+    #: (:attr:`ClusterConfig.spill_overflow_factor`).
+    spill_margin_factor: float = 4.0
     #: abandon plans whose cost exceeds the best found so far (B&B pruning).
     enable_pruning: bool = True
     #: apply the broadcast-chain rule (Section 5.2). Disabling it makes
@@ -245,6 +275,31 @@ class DynoConfig:
                          else self.executor.max_workers),
         )
         return replace(self, executor=executor)
+
+    def with_memory(self, task_memory_bytes: int | None = None,
+                    cluster_memory_bytes: int | None = None,
+                    ) -> "DynoConfig":
+        """Config with the memory budgets changed coherently.
+
+        ``task_memory_bytes`` is the paper's ``Mmax``: it gates both the
+        runtime's build-side check and the optimizer's broadcast/chain
+        rules, so the two must move together -- this helper is the only
+        supported way to change either.
+        """
+        cluster = self.cluster
+        optimizer = self.optimizer
+        if task_memory_bytes is not None:
+            if task_memory_bytes <= 0:
+                raise ValueError("task_memory_bytes must be positive")
+            cluster = replace(cluster, task_memory_bytes=task_memory_bytes)
+            optimizer = replace(optimizer,
+                                max_broadcast_bytes=task_memory_bytes)
+        if cluster_memory_bytes is not None:
+            if cluster_memory_bytes < 0:
+                raise ValueError("cluster_memory_bytes must be >= 0")
+            cluster = replace(cluster,
+                              cluster_memory_bytes=cluster_memory_bytes)
+        return replace(self, cluster=cluster, optimizer=optimizer)
 
     def with_fault_plan(self, plan: "FaultPlan | None") -> "DynoConfig":
         """Config with a fault schedule armed (or disarmed with None)."""

@@ -34,7 +34,8 @@ from repro.errors import PlanError
 from repro.jaql.blocks import BlockLeaf
 from repro.jaql.expr import GroupBy, Predicate
 from repro.optimizer.plans import (
-    BROADCAST,
+    HASH_BUILD_METHODS,
+    HYBRID,
     PhysJoin,
     PhysLeaf,
     PhysicalNode,
@@ -225,7 +226,11 @@ class PlanCompiler:
             return self._leaf_stream(node)
         if not isinstance(node, PhysJoin):
             raise PlanError(f"cannot compile {type(node).__name__}")
-        if node.method == BROADCAST:
+        if node.method in HASH_BUILD_METHODS:
+            # Hybrid hash joins compile exactly like broadcast joins -- the
+            # build side is loaded per task -- but the build is marked
+            # spillable so the runtime degrades it in place when it
+            # overflows task memory instead of failing the job.
             return self._broadcast_stream(node, jobs)
         return self._repartition_stream(node, jobs)
 
@@ -274,7 +279,9 @@ class PlanCompiler:
                 node=probe.node,
             )
 
-        build = self._build_side(node.right, jobs, probe)
+        build = self._build_side(
+            node.right, jobs, probe, spillable=node.method == HYBRID,
+        )
         probe_refs = [
             condition.side_for(node.left.aliases)
             for condition in node.conditions
@@ -334,7 +341,8 @@ class PlanCompiler:
         )
 
     def _build_side(self, node: PhysicalNode, jobs: list[CompiledJob],
-                    probe: _Stream) -> BroadcastBuild:
+                    probe: _Stream, spillable: bool = False,
+                    ) -> BroadcastBuild:
         """Build sides must be materialized.
 
         Small base leaves load directly, applying their predicates while
@@ -361,6 +369,8 @@ class PlanCompiler:
                     input_file=filtered.job.output_name,
                     loader=lambda raw_rows: list(raw_rows),
                     description=f"{leaf.describe()} (pre-filtered)",
+                    spillable=spillable,
+                    declared_bytes=int(node.est_bytes),
                 )
             if leaf.is_base:
                 def loader(raw_rows: list[Row],
@@ -378,6 +388,8 @@ class PlanCompiler:
                 input_file=input_file,
                 loader=loader,
                 description=leaf.describe(),
+                spillable=spillable,
+                declared_bytes=int(node.est_bytes),
             )
         # Join subtree: materialize it, then broadcast its output.
         subtree = self._compile_node(node, jobs)
@@ -396,6 +408,8 @@ class PlanCompiler:
             input_file=build_file,
             loader=lambda raw_rows: list(raw_rows),
             description=f"build from {build_file}",
+            spillable=spillable,
+            declared_bytes=int(node.est_bytes),
         )
 
     def _repartition_stream(self, node: PhysJoin,
@@ -453,6 +467,9 @@ class PlanCompiler:
             output_schema=_intermediate_schema(),
             broadcast_builds=left.builds + right.builds,
             description=f"repartition join over {sorted(node.aliases)}",
+            memory_demand_bytes=self._memory_demand(
+                left.builds + right.builds
+            ),
         )
         depends = _dedupe(
             [up.name for up in left.upstream + right.upstream]
@@ -504,6 +521,7 @@ class PlanCompiler:
             output_schema=_intermediate_schema(),
             broadcast_builds=list(stream.builds),
             description=f"map-only pipeline over {sorted(stream.aliases)}",
+            memory_demand_bytes=self._memory_demand(stream.builds),
         )
         node_cost = stream.node.cost if stream.node is not None else 0.0
         compiled = CompiledJob(
@@ -528,6 +546,18 @@ class PlanCompiler:
         if leaf.is_base:
             return self.table_files.get(leaf.source_name, leaf.source_name)
         return leaf.source_name
+
+    def _memory_demand(self, builds: list[BroadcastBuild]) -> int:
+        """Declared build memory of one job, from optimizer estimates.
+
+        Capped at the task budget: a spilling build never holds more than
+        ``task_memory_bytes`` resident, and a non-spillable build beyond
+        the budget fails before occupying it. The runtime later charges
+        ``max(declaration, actually loaded in-memory bytes)`` so lying
+        estimates cannot under-charge the cluster pool.
+        """
+        declared = sum(build.declared_bytes for build in builds)
+        return min(declared, self.config.cluster.task_memory_bytes)
 
     def _next_name(self, label: str) -> str:
         self._counter += 1

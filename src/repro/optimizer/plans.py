@@ -1,12 +1,18 @@
 """Physical plan nodes and the paper-style plan printer.
 
-Physical operators are exactly Jaql's two join methods (Section 2.2.1):
+Physical operators are Jaql's two join methods (Section 2.2.1) plus the
+memory-governed spill variant this repro adds:
 
 * ``PhysJoin(method="repartition")`` -- one map+reduce job that shuffles
   both inputs on the join key (the paper's ``./r``);
 * ``PhysJoin(method="broadcast")`` -- a map-only hash join whose build side
   is loaded into every task (``./b``); consecutive broadcast joins may be
-  *chained* into one job when their build sides fit in memory together.
+  *chained* into one job when their build sides fit in memory together;
+* ``PhysJoin(method="hybrid")`` -- a map-only *spillable* hash join
+  (``./h``): the build side exceeds ``Mmax`` by at most a configured
+  margin, so tasks keep what fits in memory and partition the rest to
+  disk (Grace-style), paying extra I/O instead of a full shuffle. Hybrid
+  joins never chain: their build already claims the whole memory budget.
 
 ``render_plan`` prints trees in the style of the paper's Figures 2 and 3,
 and ``plan_signature`` gives a stable text identity used to detect plan
@@ -23,6 +29,13 @@ from repro.jaql.expr import JoinCondition, Predicate
 
 REPARTITION = "repartition"
 BROADCAST = "broadcast"
+HYBRID = "hybrid"
+
+#: join methods whose build side is hash-loaded by map tasks (and which a
+#: permanent build failure therefore bans together).
+HASH_BUILD_METHODS = (BROADCAST, HYBRID)
+
+_SYMBOLS = {REPARTITION: "./r", BROADCAST: "./b", HYBRID: "./h"}
 
 
 @dataclass(frozen=True)
@@ -86,7 +99,7 @@ class PhysJoin(PhysicalNode):
     chained: bool = False
 
     def __post_init__(self) -> None:
-        if self.method not in (REPARTITION, BROADCAST):
+        if self.method not in (REPARTITION, BROADCAST, HYBRID):
             raise PlanError(f"unknown join method: {self.method!r}")
         if self.left is None or self.right is None:
             raise PlanError("join requires two inputs")
@@ -113,7 +126,7 @@ class PhysJoin(PhysicalNode):
         return self.right
 
     def symbol(self) -> str:
-        return "./r" if self.method == REPARTITION else "./b"
+        return _SYMBOLS[self.method]
 
 
 def replace_cost(node: PhysicalNode, cost: float) -> PhysicalNode:
@@ -170,7 +183,7 @@ def compact_plan(node: PhysicalNode) -> str:
     if isinstance(node, PhysLeaf):
         return node.label()
     assert isinstance(node, PhysJoin)
-    operator = "./r" if node.method == REPARTITION else "./b"
+    operator = _SYMBOLS[node.method]
     if node.chained:
         operator += "+"
     return (f"({compact_plan(node.left)} {operator} "
@@ -189,6 +202,7 @@ class PlanSummary:
     joins: int = 0
     repartition_joins: int = 0
     broadcast_joins: int = 0
+    hybrid_joins: int = 0
     chained_joins: int = 0
     max_depth: int = 0
     is_left_deep: bool = True
@@ -239,7 +253,8 @@ def plan_diff(before: PhysicalNode, after: PhysicalNode) -> list[str]:
             state = "chained" if new.chained else "unchained"
             changes.append(f"join over {label}: now {state}")
         if (old.build.aliases != new.build.aliases
-                and old.method == new.method == BROADCAST):
+                and old.method == new.method
+                and old.method in HASH_BUILD_METHODS):
             changes.append(
                 f"join over {label}: build side "
                 f"{'+'.join(sorted(old.build.aliases))} -> "
@@ -272,6 +287,8 @@ def summarize_plan(node: PhysicalNode) -> PlanSummary:
         summary.joins += 1
         if current.method == REPARTITION:
             summary.repartition_joins += 1
+        elif current.method == HYBRID:
+            summary.hybrid_joins += 1
         else:
             summary.broadcast_joins += 1
         if current.chained:

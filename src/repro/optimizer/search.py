@@ -35,7 +35,12 @@ from repro.optimizer.memo import (
     Memo,
     Winner,
 )
-from repro.optimizer.plans import BROADCAST, PhysJoin, PhysLeaf, PhysicalNode
+from repro.optimizer.plans import (
+    HASH_BUILD_METHODS,
+    PhysJoin,
+    PhysLeaf,
+    PhysicalNode,
+)
 from repro.optimizer.rules import JoinContext, default_rules
 from repro.stats.statistics import TableStats
 
@@ -148,16 +153,19 @@ class JoinOptimizer:
         return best
 
     def _broadcast_banned(self, candidate: PhysicalNode) -> bool:
-        """True when this broadcast join failed permanently at runtime.
+        """True when this hash-build join failed permanently at runtime.
 
         Subset semantics: banning ``{o, l}`` also rejects a broadcast of
         any *smaller* alias set of that failed join -- replanned jobs get
         different alias groupings and must not resurrect the dead build.
+        The ban covers the hybrid join too: a build whose *spilling* form
+        already overflowed pathologically (or was doomed by a fault) must
+        fall back to the repartition join, not to another hash build.
         """
         if not self.banned_broadcast:
             return False
         if not isinstance(candidate, PhysJoin) \
-                or candidate.method != BROADCAST:
+                or candidate.method not in HASH_BUILD_METHODS:
             return False
         return any(candidate.aliases <= banned
                    for banned in self.banned_broadcast)

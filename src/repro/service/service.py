@@ -39,12 +39,25 @@ change answers, only timings).
 
 Fault plans are a single-driver feature: ``run_batch`` refuses to run
 concurrently with an armed fault injector, since fault suspension during
-pilots is runtime-global.
+pilots is runtime-global (``workers=1`` batches run fault plans fine).
+
+Memory backpressure
+-------------------
+
+Each request may declare a memory demand
+(:attr:`QueryRequest.memory_demand_bytes`); the service holds a gate over
+the cluster memory pool and *blocks admission* of a query whose demand
+would push the aggregate of running queries past the pool. Blocked
+queries are granted memory in deterministic FIFO submission order (no
+bypass), each wait traced as an ``admission_wait`` span. Backpressure
+changes only timing, never results: concurrent outcomes stay
+byte-identical to a serial run.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -75,6 +88,10 @@ class QueryRequest:
     mode: str = MODE_DYNOPT
     strategy: str = "UNC-1"
     pilot_mode: str = "MT"
+    #: declared build/buffer memory this query needs while running; 0
+    #: admits immediately (no governance). Demands above the cluster pool
+    #: are clamped, so an oversized query runs alone instead of never.
+    memory_demand_bytes: int = 0
 
     @classmethod
     def single(cls, name: str, query: QuerySpec | str,
@@ -136,6 +153,57 @@ class _Admission:
         return self.stages[-1][0].name
 
 
+class _MemoryGate:
+    """Admission gate over the cluster memory pool.
+
+    Grants are FIFO by *submission index*, not wall-clock arrival: when
+    memory frees, the lowest-index waiter goes first, and no later waiter
+    may bypass it even if its own demand would fit (starvation freedom +
+    determinism given the submitted batch). Deadlock-free by ordering:
+    queries acquire memory only *after* their pilot-claim waits, so a
+    memory holder never waits on a later submission.
+    """
+
+    def __init__(self, pool_bytes: int):
+        self.pool_bytes = max(pool_bytes, 0)
+        self._free = self.pool_bytes
+        self._waiters: set[int] = set()
+        self._condition = threading.Condition()
+
+    def clamp(self, demand: int) -> int:
+        """Demands above the pool run alone instead of never."""
+        return min(max(demand, 0), self.pool_bytes)
+
+    def try_acquire(self, demand: int) -> bool:
+        """Non-blocking fast path; never bypasses existing waiters."""
+        with self._condition:
+            if not self._waiters and demand <= self._free:
+                self._free -= demand
+                return True
+            return False
+
+    def acquire(self, index: int, demand: int) -> float:
+        """Block until granted; returns seconds spent waiting."""
+        started = time.perf_counter()
+        with self._condition:
+            self._waiters.add(index)
+            try:
+                while not (index == min(self._waiters)
+                           and demand <= self._free):
+                    self._condition.wait()
+            finally:
+                self._waiters.discard(index)
+            self._free -= demand
+            # The next-lowest waiter may fit in what remains.
+            self._condition.notify_all()
+        return time.perf_counter() - started
+
+    def release(self, demand: int) -> None:
+        with self._condition:
+            self._free += demand
+            self._condition.notify_all()
+
+
 class QueryService:
     """Executes batches of queries over one shared simulated platform."""
 
@@ -157,6 +225,9 @@ class QueryService:
                          metrics=metrics, plan_cache=self.plan_cache)
         self.tracer = self.dyno.tracer
         self.metrics = self.dyno.metrics
+        self._memory_gate = _MemoryGate(
+            config.cluster.effective_cluster_memory_bytes
+        )
         self._batch_count = 0
 
     # -- public ---------------------------------------------------------------
@@ -286,16 +357,44 @@ class QueryService:
 
     # -- execution ------------------------------------------------------------
 
+    def _acquire_memory(self, admission: _Admission) -> int:
+        """Charge the query's declared demand; block under backpressure.
+
+        Returns the bytes actually held (0 for undeclared queries), which
+        the caller must release when the query completes.
+        """
+        demand = self._memory_gate.clamp(
+            admission.request.memory_demand_bytes
+        )
+        if demand == 0:
+            return 0
+        if self._memory_gate.try_acquire(demand):
+            return demand
+        with self.tracer.span(
+            "admission_wait",
+            query=admission.query_name,
+            demand_bytes=demand,
+            pool_bytes=self._memory_gate.pool_bytes,
+        ) as span:
+            waited = self._memory_gate.acquire(admission.index, demand)
+            span.set(waited_s=round(waited, 6))
+        if self.metrics.enabled:
+            self.metrics.inc("service.admission_waits")
+            self.metrics.observe("service.admission_wait_s", waited)
+        return demand
+
     def _run_one(self, admission: _Admission) -> QueryOutcome:
         request = admission.request
         outcome = QueryOutcome(admission.index, request.name,
                                admission.query_name)
+        held_bytes = 0
         try:
             if admission.error is not None:
                 outcome.error = admission.error
                 return outcome
             for event in admission.wait_for:
                 event.wait()
+            held_bytes = self._acquire_memory(admission)
             execution = self.dyno.execute_multi(
                 admission.stages,
                 mode=request.mode,
@@ -322,6 +421,8 @@ class QueryService:
             # take down the batch; UDFs run arbitrary user code.
             outcome.error = f"{type(error).__name__}: {error}"
         finally:
+            if held_bytes:
+                self._memory_gate.release(held_bytes)
             # Claims are coordination, not correctness: if this query died
             # before collecting its claimed statistics, waiters find the
             # metastore still empty and simply run the pilots themselves.

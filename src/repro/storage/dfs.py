@@ -108,6 +108,12 @@ class DistributedFileSystem:
         self._files: dict[str, DFSFile] = {}
         self.bytes_written = 0
         self.bytes_read = 0
+        #: bytes written/re-read by spilling hybrid-hash-join tasks.
+        #: Spill partitions are task-local scratch, not namespace files
+        #: (worker threads must never mutate the namespace), so only the
+        #: byte traffic is recorded here.
+        self.spill_bytes_written = 0
+        self.spill_bytes_read = 0
         self._accounting_lock = threading.Lock()
 
     # -- namespace operations -------------------------------------------------
@@ -174,6 +180,12 @@ class DistributedFileSystem:
         with self._accounting_lock:
             self.bytes_read += dfs_file.size_bytes
         return list(dfs_file.rows)
+
+    def charge_spill(self, bytes_written: int, bytes_read: int) -> None:
+        """Account spill traffic (thread-safe; callable from task code)."""
+        with self._accounting_lock:
+            self.spill_bytes_written += bytes_written
+            self.spill_bytes_read += bytes_read
 
     def file_size(self, name: str) -> int:
         return self.open(name).size_bytes

@@ -1,7 +1,5 @@
 """Baselines: static enumeration, Jaql heuristics, RELOPT failure modes."""
 
-import math
-
 import pytest
 
 from repro.core.baselines import (
@@ -15,7 +13,7 @@ from repro.core.baselines import (
     relopt_plan,
 )
 from repro.errors import PlanError
-from repro.optimizer.plans import BROADCAST, REPARTITION, summarize_plan
+from repro.optimizer.plans import BROADCAST, summarize_plan
 from repro.workloads.queries import q8_prime, q9_prime, q10
 
 

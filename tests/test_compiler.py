@@ -2,14 +2,12 @@
 
 import pytest
 
-from repro.config import DEFAULT_CONFIG
 from repro.core.baselines import oracle_leaf_stats
-from repro.core.dyno import Dyno
 from repro.jaql.compiler import PlanCompiler
 from repro.jaql.expr import Aggregate, GroupBy, ref
 from repro.optimizer.plans import summarize_plan
 from repro.optimizer.search import JoinOptimizer
-from tests.conftest import assert_same_rows, reference_rows
+from tests.conftest import assert_same_rows
 
 
 def prepare(dyno, workload):
@@ -99,7 +97,6 @@ class TestExecutionCorrectness:
         rows = run_graph(dyno, graph)
 
         # Reference: interpreter over the join block only (no stages).
-        from repro.jaql.expr import QuerySpec
         from repro.jaql.rewrites import push_down_filters
 
         spec = workload.final_spec

@@ -2,7 +2,7 @@
 
 import random
 
-from repro.data.schema import INT, STRING, Schema
+from repro.data.schema import INT, Schema
 from repro.data.table import Table
 from repro.workloads.cords import discover_correlations
 

@@ -1,10 +1,8 @@
 """Dynamic join operator (Section 8 future-work extension)."""
 
-import pytest
-
 from repro.core.baselines import oracle_leaf_stats, relopt_plan
 from repro.core.dynamic_join import DynamicJoinExecutor
-from repro.optimizer.plans import REPARTITION, summarize_plan
+from repro.optimizer.plans import summarize_plan
 from repro.optimizer.search import JoinOptimizer
 from repro.workloads.queries import q9_prime, q10
 from tests.conftest import assert_same_rows

@@ -1,7 +1,5 @@
 """Dynamic join operator: the filter-first observation path."""
 
-import pytest
-
 from repro.config import OptimizerConfig
 from repro.core.baselines import oracle_leaf_stats
 from repro.core.dynamic_join import DynamicJoinExecutor

@@ -1,7 +1,5 @@
 """Edge cases across the stack: empty inputs, degenerate queries, unicode."""
 
-import pytest
-
 from repro.core.dyno import Dyno
 from repro.data.schema import INT, STRING, Schema
 from repro.data.table import Table

@@ -9,7 +9,6 @@ task-attempt inflation, and the runtime's boundary retry loop.
 import pytest
 
 from repro.cluster.faults import (
-    FaultInjector,
     FaultPlan,
     JOB_BOUNDARIES,
     derived_rng,

@@ -10,7 +10,6 @@ from repro.bench.harness import (
     VARIANT_STATIC_HIVE,
     VARIANT_STATIC_JAQL,
     ExperimentTable,
-    WorkloadRun,
     dataset_for,
     normalized,
     run_workload,

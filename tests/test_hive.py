@@ -8,7 +8,7 @@ from repro.core.hive import hive_config, make_hive_dyno, replay_plan_in_hive
 from repro.optimizer.search import JoinOptimizer
 from repro.optimizer.plans import summarize_plan
 from repro.workloads.queries import q9_prime, q10
-from tests.conftest import assert_same_rows, reference_rows
+from tests.conftest import reference_rows
 
 
 class TestConfig:

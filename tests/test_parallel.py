@@ -24,7 +24,6 @@ from repro.config import DEFAULT_CONFIG, ClusterConfig, DynoConfig, ExecutorConf
 from repro.core.dynopt import MODE_DYNOPT
 from repro.core.pilot import PILR_MT, PilotRunner
 from repro.data.schema import INT, STRING, Schema
-from repro.data.table import Table
 from repro.errors import BroadcastBuildOverflowError, JobError
 from repro.storage.dfs import DistributedFileSystem
 from repro.workloads.queries import q8_prime

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import ParseError, PlanError
 from repro.jaql.expr import (
-    Comparison,
     Filter,
     GroupBy,
     Join,

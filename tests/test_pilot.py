@@ -4,7 +4,6 @@ from dataclasses import replace
 
 import pytest
 
-from repro.config import DEFAULT_CONFIG, PilotConfig
 from repro.core.pilot import (
     PILR_MT,
     PILR_ST,

@@ -7,7 +7,6 @@ the distributed execution must return the same rows.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,5 @@
 """Experiment report generator."""
 
-import pytest
-
 from repro.bench.harness import ExperimentTable
 from repro.bench.report import (
     EXPERIMENT_SEQUENCE,

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -14,7 +13,6 @@ from repro.jaql.expr import (
     Filter,
     Join,
     JoinCondition,
-    QuerySpec,
     Scan,
     UdfPredicate,
     ref,

@@ -2,14 +2,12 @@
 
 import pytest
 
-from repro.cluster.coordination import CoordinationService
 from repro.cluster.costmodel import ClusterCostModel, TaskWork
 from repro.cluster.counters import Counters
 from repro.cluster.job import BroadcastBuild, MapReduceJob, TaskContext
 from repro.cluster.runtime import ClusterRuntime
 from repro.config import DEFAULT_CONFIG, ClusterConfig, DynoConfig
 from repro.data.schema import INT, STRING, Schema
-from repro.data.table import Table
 from repro.errors import (
     BroadcastBuildOverflowError,
     JobError,

@@ -1,19 +1,16 @@
 """Memo exploration and top-down search: optimality and plan shapes."""
 
-import itertools
-
 import pytest
 
 from repro.config import OptimizerConfig
 from repro.errors import OptimizerError, UnsupportedQueryError
 from repro.jaql.blocks import SOURCE_TABLE, BlockLeaf, JoinBlock
-from repro.jaql.expr import Comparison, JoinCondition, UdfPredicate, ref
+from repro.jaql.expr import JoinCondition, UdfPredicate, ref
 from repro.jaql.functions import Udf
 from repro.optimizer.joingraph import JoinGraph
 from repro.optimizer.memo import LogicalJoin, LogicalLeaf, Memo
 from repro.optimizer.plans import (
     BROADCAST,
-    REPARTITION,
     PhysJoin,
     PhysLeaf,
     summarize_plan,

@@ -292,8 +292,25 @@ class TestServiceGuards:
         plan = FaultPlan(seed=7, name="t", task_failure_rate=0.1)
         config = DEFAULT_CONFIG.with_fault_plan(plan)
         service = QueryService(small_tables(), config=config, workers=2)
-        with pytest.raises(PlanError):
+        with pytest.raises(PlanError, match="workers=1"):
             service.run_batch([QueryRequest.from_workload(q3())])
+
+    def test_single_worker_fault_plans_run_and_stay_invisible(self):
+        """A fault plan only forbids *concurrent* driver threads: with
+        workers=1 the batch must run -- and, per the recovery oracle,
+        return exactly the rows of a fault-free service."""
+        from repro.cluster.faults import FaultPlan
+
+        plan = FaultPlan(seed=7, name="t", task_failure_rate=0.1,
+                         straggler_rate=0.05)
+        config = DEFAULT_CONFIG.with_fault_plan(plan)
+        faulted = QueryService(small_tables(), config=config, workers=1)
+        (outcome,) = faulted.run_batch([QueryRequest.from_workload(q3())])
+        assert outcome.error is None
+
+        clean = QueryService(small_tables(), workers=1)
+        (baseline,) = clean.run_batch([QueryRequest.from_workload(q3())])
+        assert rows_bytes(outcome.rows) == rows_bytes(baseline.rows)
 
     def test_empty_stage_list_is_an_errored_outcome(self):
         service = QueryService(small_tables(), workers=1)

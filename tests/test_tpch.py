@@ -6,7 +6,6 @@ from repro.data.tpch import (
     BASE_CARDINALITIES,
     PAPER_SCALE_FACTORS,
     ZIP_STATES,
-    generate_restaurants,
     generate_tpch,
     order_zone_region,
     scaled_cardinality,

@@ -1,12 +1,9 @@
 """Public validation helpers."""
 
-import pytest
-
 from repro.core.dyno import Dyno
 from repro.data.schema import INT, STRING, Schema
 from repro.data.table import Table
 from repro.validation import (
-    VerificationReport,
     canonical_rows,
     compare_rows,
     interpret,
