@@ -8,25 +8,30 @@ Python hot loops the whole experiment suite funnels through. It times:
 * ``kmv_merge``       -- union of 64 partial synopses (client-side merge);
 * ``runtime_row_loop``-- one map-only job + one repartition join through
                          ``ClusterRuntime._run_job_data``;
+* ``runtime_row_loop_columnar`` -- the same two jobs over the columnar
+                         batch data path (batch mapper/reducer);
 * ``optimizer_search``-- repeated optimizer searches over the Q8' block;
 * ``q8_dynopt_driver``-- a full Q8' DYNOPT run (``run_workload``),
                          including DFS load, pilots and re-optimization;
+* ``q8_dynopt_driver_columnar`` -- the same run with the columnar engine;
 * ``pilr_mt_pilots``  -- PILR_MT pilot runs for the Q9' block.
 
-Results are written as JSON. The checked-in ``BENCH_PR1.json`` at the repo
-root records the before/after numbers of PR 1; CI re-runs the suite in
+Each entry reports the *median* of N timed runs after a warmup run.
+Results are written as JSON. The checked-in ``BENCH_PR6.json`` at the repo
+root records the current before/after numbers; CI re-runs the suite in
 ``--mode smoke`` and fails when any entry regresses more than the
 ``--max-regression`` factor against that baseline (see ``--check``).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf_micro.py --mode full \
-        --output BENCH_PR1.json [--before /tmp/before.json]
+        --output BENCH_PR6.json [--before /tmp/before.json]
     PYTHONPATH=src python benchmarks/bench_perf_micro.py --mode smoke \
-        --check BENCH_PR1.json --max-regression 2.0
+        --check BENCH_PR6.json --max-regression 1.5
 
-The harness only uses APIs present since the seed, so it can be run
-against older revisions to produce "before" numbers.
+When merging "before" numbers, a ``*_columnar`` entry missing from the
+baseline falls back to its row-engine counterpart, so the columnar
+speedup is measured against the previous PR's row path.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ import argparse
 import json
 import platform
 import random
+import statistics
 import sys
 import time
 from dataclasses import replace
@@ -68,13 +74,29 @@ def _parallel_config(base: DynoConfig) -> DynoConfig:
     return replace(base, executor=replace(executor, parallel_jobs=True))
 
 
-def _best_of(fn: Callable[[], Any], reps: int) -> float:
-    best = float("inf")
+def _columnar_config(base: DynoConfig) -> DynoConfig:
+    """Enable the columnar batch data path when this revision has it."""
+    with_columnar = getattr(base, "with_columnar", None)
+    if with_columnar is None:
+        return base  # pre-PR6 revision: row engine only
+    return with_columnar()
+
+
+def _timed(fn: Callable[[], Any], reps: int, warmup: int = 1) -> float:
+    """Median wall-clock of ``reps`` runs after ``warmup`` discarded runs.
+
+    The warmup absorbs one-time costs (imports, allocator growth, memoized
+    caches filling) and the median resists scheduler noise -- min-of-N
+    systematically under-reports and made the CI regression gate flaky.
+    """
+    for _ in range(warmup):
+        fn()
+    samples: list[float] = []
     for _ in range(reps):
         start = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
 
 
 # ---------------------------------------------------------------------------
@@ -100,7 +122,7 @@ def bench_kmv_ingest(params: dict[str, Any]) -> float:
         synopsis.add_all(values)
         synopsis.estimate()
 
-    return _best_of(run, params["reps"])
+    return _timed(run, params["reps"])
 
 
 def bench_kmv_merge(params: dict[str, Any]) -> float:
@@ -119,7 +141,7 @@ def bench_kmv_merge(params: dict[str, Any]) -> float:
             merged = merged.merge(partial)
         merged.estimate()
 
-    return _best_of(run, params["reps"])
+    return _timed(run, params["reps"])
 
 
 def bench_runtime_row_loop(params: dict[str, Any]) -> float:
@@ -165,7 +187,85 @@ def bench_runtime_row_loop(params: dict[str, Any]) -> float:
             reducer=reducer, num_reducers=8,
         ))
 
-    return _best_of(run, params["reps"])
+    return _timed(run, params["reps"])
+
+
+def bench_runtime_row_loop_columnar(params: dict[str, Any]) -> float:
+    """The row-loop jobs re-expressed over the columnar batch contract."""
+    from repro.cluster.job import BatchEmit, MapReduceJob, TaskContext
+    from repro.cluster.runtime import ClusterRuntime
+    from repro.data.columns import RowBatch
+    from repro.data.schema import INT, STRING, Schema, estimate_dict_size
+    from repro.data.table import Row
+    from repro.storage.dfs import DistributedFileSystem
+
+    rows = params["row_loop_rows"]
+    schema = Schema.of(k=INT, grp=INT, payload=STRING)
+    data = [
+        {"k": i, "grp": i % 97, "payload": f"value-{i % 1000:04d}"}
+        for i in range(rows)
+    ]
+
+    # Row callables stay attached as the semantic definition / fallback.
+    def map_only_mapper(context: TaskContext, source: str,
+                        chunk: list[Row]) -> None:
+        for row in chunk:
+            if row["grp"] % 2 == 0:
+                context.emit(None, row)
+
+    def keyed_mapper(context: TaskContext, source: str,
+                     chunk: list[Row]) -> None:
+        for row in chunk:
+            context.emit(row["grp"], row)
+
+    def reducer(context: TaskContext, key: Any, values: list[Row]) -> None:
+        context.emit(None, {"grp": key, "n": len(values)})
+
+    def batch_map_only(context: TaskContext, source: str,
+                       batch: Any) -> BatchEmit:
+        grp = batch.column("grp")
+        all_rows = batch.rows
+        sizes = batch.ensure_sizes()
+        selection = [i for i in range(len(all_rows)) if grp[i] % 2 == 0]
+        out_rows = [all_rows[i] for i in selection]
+        out_sizes = [sizes[i] for i in selection]
+        return BatchEmit(rows=out_rows, sizes=out_sizes,
+                         columns=RowBatch(out_rows, out_sizes))
+
+    def batch_keyed(context: TaskContext, source: str,
+                    batch: Any) -> BatchEmit:
+        # Scalar keys, exactly as the row mapper emits them.
+        return BatchEmit(rows=list(batch.rows),
+                         sizes=list(batch.ensure_sizes()),
+                         keys=list(batch.column("grp")))
+
+    def batch_reducer(context: TaskContext, groups: list) -> BatchEmit:
+        out_rows = []
+        out_sizes = []
+        for key, values, _sizes in groups:
+            row = {"grp": key, "n": len(values)}
+            out_rows.append(row)
+            out_sizes.append(estimate_dict_size(row))
+        return BatchEmit(rows=out_rows, sizes=out_sizes)
+
+    def run() -> None:
+        dfs = DistributedFileSystem(DEFAULT_CONFIG.cluster.block_size_bytes)
+        dfs.write_rows("input", schema, data)
+        runtime = ClusterRuntime(dfs, DEFAULT_CONFIG)
+        runtime.execute(MapReduceJob(
+            name="map_only", inputs=["input"], mapper=map_only_mapper,
+            batch_mapper=batch_map_only,
+            output_name="map_only.out", output_schema=schema,
+            stats_columns=["k", "grp"],
+        ))
+        runtime.execute(MapReduceJob(
+            name="repartition", inputs=["input"], mapper=keyed_mapper,
+            batch_mapper=batch_keyed, batch_reducer=batch_reducer,
+            output_name="repartition.out", output_schema=schema,
+            reducer=reducer, num_reducers=8,
+        ))
+
+    return _timed(run, params["reps"])
 
 
 def bench_optimizer_search(params: dict[str, Any]) -> float:
@@ -182,7 +282,7 @@ def bench_optimizer_search(params: dict[str, Any]) -> float:
             JoinOptimizer(extracted.block, leaf_stats,
                           DEFAULT_CONFIG.optimizer).optimize()
 
-    return _best_of(run, params["reps"])
+    return _timed(run, params["reps"])
 
 
 def bench_q8_dynopt_driver(params: dict[str, Any],
@@ -199,7 +299,7 @@ def bench_q8_dynopt_driver(params: dict[str, Any],
     def run() -> None:
         run_workload(dataset.tables, workload, VARIANT_DYNOPT, config=config)
 
-    return _best_of(run, params["reps"])
+    return _timed(run, params["reps"])
 
 
 def bench_pilr_mt_pilots(params: dict[str, Any],
@@ -215,7 +315,7 @@ def bench_pilr_mt_pilots(params: dict[str, Any],
         runner = PilotRunner(dyno.runtime, dyno.metastore, config)
         runner.run(extracted.block, mode="MT")
 
-    return _best_of(run, params["reps"])
+    return _timed(run, params["reps"])
 
 
 # ---------------------------------------------------------------------------
@@ -232,8 +332,12 @@ def run_suite(mode: str, parallel: bool = True) -> dict[str, float]:
         ("kmv_ingest", lambda: bench_kmv_ingest(params)),
         ("kmv_merge", lambda: bench_kmv_merge(params)),
         ("runtime_row_loop", lambda: bench_runtime_row_loop(params)),
+        ("runtime_row_loop_columnar",
+         lambda: bench_runtime_row_loop_columnar(params)),
         ("optimizer_search", lambda: bench_optimizer_search(params)),
         ("q8_dynopt_driver", lambda: bench_q8_dynopt_driver(params, config)),
+        ("q8_dynopt_driver_columnar",
+         lambda: bench_q8_dynopt_driver(params, _columnar_config(config))),
         ("pilr_mt_pilots", lambda: bench_pilr_mt_pilots(params, config)),
     ):
         results[name] = fn()
@@ -246,10 +350,15 @@ def build_report(mode: str, measured: dict[str, float],
     entries: dict[str, Any] = {}
     for name, seconds in measured.items():
         entry: dict[str, Any] = {"after_s": round(seconds, 6)}
-        if before and name in before:
-            entry["before_s"] = round(before[name], 6)
+        reference = before.get(name) if before else None
+        if reference is None and before and name.endswith("_columnar"):
+            # Columnar entries are new: measure them against the previous
+            # PR's row-engine number for the same workload.
+            reference = before.get(name[: -len("_columnar")])
+        if reference is not None:
+            entry["before_s"] = round(reference, 6)
             if seconds > 0:
-                entry["speedup"] = round(before[name] / seconds, 3)
+                entry["speedup"] = round(reference / seconds, 3)
         entries[name] = entry
     return {"mode": mode, "entries": entries}
 
@@ -307,7 +416,7 @@ def main(argv: list[str] | None = None) -> int:
         existing: dict[str, Any] = {}
         if args.output.exists():
             existing = json.loads(args.output.read_text())
-        existing.setdefault("pr", 1)
+        existing.setdefault("pr", 6)
         existing.setdefault("schema_version", 1)
         existing["python"] = platform.python_version()
         existing.setdefault("modes", {})

@@ -20,6 +20,9 @@ from repro.errors import JobError
 from repro.storage.dfs import Split
 
 __all__ = [
+    "BatchEmit",
+    "BatchMapper",
+    "BatchReducer",
     "BroadcastBuild",
     "MapReduceJob",
     "Mapper",
@@ -89,6 +92,34 @@ Reducer = Callable[[TaskContext, Any, list[Row]], None]
 
 
 @dataclass
+class BatchEmit:
+    """Output of one batch mapper/reducer call (the columnar task contract).
+
+    ``sizes[i]`` must equal ``estimate_value_size(rows[i])``: producers
+    derive sizes in O(1) from their inputs (merged-row arithmetic, carried
+    split sizes) so the runtime's byte counters match the row engine
+    without re-walking any dict. ``keys`` is None for map-only emission,
+    else parallel to ``rows``. ``columns`` optionally exposes the output
+    batch (``column(name)``) so statistics ingest straight from columns.
+    """
+
+    rows: list[Row]
+    sizes: list[int]
+    keys: list[Any] | None = None
+    columns: Any | None = None
+
+
+#: A batch mapper processes one whole split:
+#: (context, source file name, column batch) -> BatchEmit.
+BatchMapper = Callable[[TaskContext, str, Any], BatchEmit]
+#: A batch reducer processes one partition's key groups in arrival order:
+#: (context, [(frozen key, values, value sizes)]) -> BatchEmit.
+BatchReducer = Callable[
+    [TaskContext, list[tuple[Any, list[Row], list[int]]]], BatchEmit
+]
+
+
+@dataclass
 class BroadcastBuild:
     """One broadcast-join build side attached to a job.
 
@@ -155,10 +186,20 @@ class MapReduceJob:
     #: the cluster memory pool while the job runs. 0 means "negligible"
     #: (pilot runs, plain scans) and never waits for memory.
     memory_demand_bytes: int = 0
+    #: optional columnar data path: when set, the runtime feeds each task
+    #: a column batch instead of a row list. Results and byte accounting
+    #: must be identical to the row ``mapper``/``reducer`` (which remain
+    #: mandatory -- they stay the semantic definition and the fallback).
+    batch_mapper: BatchMapper | None = None
+    batch_reducer: BatchReducer | None = None
 
     def __post_init__(self) -> None:
         if not self.inputs:
             raise JobError(f"job {self.name!r} has no inputs")
+        if self.batch_reducer is not None and self.reducer is None:
+            raise JobError(
+                f"job {self.name!r} has a batch reducer but no reducer"
+            )
         if self.reducer is not None and self.num_reducers <= 0:
             raise JobError(
                 f"job {self.name!r} has a reducer but num_reducers="

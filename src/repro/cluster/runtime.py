@@ -132,6 +132,10 @@ class _JobDataPass:
     driver_wall_seconds: float = 0.0
     spilled_bytes: int = 0
     in_memory_build_bytes: int = 0
+    #: per-row sizes parallel to ``output_rows`` (each row was sized once
+    #: during the pass); lets finalize hand the DFS pre-computed sizes for
+    #: schema-free outputs instead of re-walking every dict.
+    output_sizes: list[int] | None = None
 
 
 @dataclass(frozen=True)
@@ -574,50 +578,86 @@ class ClusterRuntime:
         map_outputs: list[tuple[object, Row, int]] = []
         map_task_seconds: list[float] = []
         output_rows: list[Row] = []
+        output_sizes: list[int] = []
         stat_tasks: list[TaskStatsCollector] = []
         splits_processed = 0
+        batch_mapper = job.batch_mapper
 
         for split in splits:
             if gate is not None and not gate(splits_processed):
                 break
             splits_processed += 1
-            rows = self.dfs.read_split(split)
             context = TaskContext()
-            job.mapper(context, split.file_name, rows)
-
-            emitted = context.emitted
-            if job.is_map_only:
-                task_rows = [value for _, value in emitted]
-                task_sizes = [estimate_value_size(row) for row in task_rows]
-                emitted_bytes = sum(task_sizes)
-                output_rows.extend(task_rows)
-                if job.stats_columns:
-                    collector = self._make_collector(job, f"map-{split.index}")
-                    collector.observe_batch(task_rows, task_sizes)
-                    collector.publish()
-                    stat_tasks.append(collector)
+            if batch_mapper is not None:
+                # Columnar path: the mapper consumes the whole split as a
+                # column batch and returns rows + pre-computed sizes; every
+                # byte/record quantity below matches the row path exactly.
+                batch = self.dfs.read_split_batch(split)
+                emit = batch_mapper(context, split.file_name, batch)
+                input_records = len(batch)
+                emitted_records = len(emit.rows)
+                if job.is_map_only:
+                    task_rows = emit.rows
+                    task_sizes = emit.sizes
+                    emitted_bytes = sum(task_sizes)
+                    output_rows.extend(task_rows)
+                    output_sizes.extend(task_sizes)
+                    if job.stats_columns:
+                        collector = self._make_collector(
+                            job, f"map-{split.index}")
+                        if emit.columns is not None:
+                            collector.observe_columns(emit.columns, task_sizes)
+                        else:
+                            collector.observe_batch(task_rows, task_sizes)
+                        collector.publish()
+                        stat_tasks.append(collector)
+                else:
+                    emitted_bytes = 8 * emitted_records + sum(emit.sizes)
+                    map_outputs.extend(
+                        zip(emit.keys, emit.rows, emit.sizes)  # type: ignore[arg-type]
+                    )
             else:
-                emitted_bytes = 0
-                for key, value in emitted:
-                    size = estimate_value_size(value)
-                    emitted_bytes += 8 + size
-                    map_outputs.append((key, value, size))
+                rows = self.dfs.read_split(split)
+                job.mapper(context, split.file_name, rows)
+                input_records = len(rows)
+                emitted = context.emitted
+                emitted_records = len(emitted)
+                if job.is_map_only:
+                    task_rows = [value for _, value in emitted]
+                    task_sizes = [estimate_value_size(row)
+                                  for row in task_rows]
+                    emitted_bytes = sum(task_sizes)
+                    output_rows.extend(task_rows)
+                    output_sizes.extend(task_sizes)
+                    if job.stats_columns:
+                        collector = self._make_collector(
+                            job, f"map-{split.index}")
+                        collector.observe_batch(task_rows, task_sizes)
+                        collector.publish()
+                        stat_tasks.append(collector)
+                else:
+                    emitted_bytes = 0
+                    for key, value in emitted:
+                        size = estimate_value_size(value)
+                        emitted_bytes += 8 + size
+                        map_outputs.append((key, value, size))
 
-            counters.increment("map", Counters.MAP_INPUT_RECORDS, len(rows))
+            counters.increment("map", Counters.MAP_INPUT_RECORDS,
+                               input_records)
             counters.increment("map", Counters.MAP_INPUT_BYTES,
                                split.size_bytes)
             counters.increment("map", Counters.MAP_OUTPUT_RECORDS,
-                               len(emitted))
+                               emitted_records)
             counters.increment("map", Counters.MAP_OUTPUT_BYTES, emitted_bytes)
             stats_cpu = 0.0
             if job.stats_columns and job.is_map_only:
-                stats_cpu = (len(emitted)
+                stats_cpu = (emitted_records
                              * self.config.cluster.stats_seconds_per_record)
             work = TaskWork(
                 input_bytes=split.size_bytes,
-                input_records=len(rows),
+                input_records=input_records,
                 output_bytes=emitted_bytes,
-                output_records=len(emitted),
+                output_records=emitted_records,
                 extra_cpu_seconds=context.extra_cpu_seconds + stats_cpu,
             )
             task_seconds = self.cost_model.map_task_seconds(
@@ -637,7 +677,7 @@ class ClusterRuntime:
         if not job.is_map_only:
             if attempt is not None:
                 attempt.boundary("reduce")
-            output_rows = self._run_reduce_phase(
+            output_rows, output_sizes = self._run_reduce_phase(
                 job, map_outputs, counters, reduce_task_seconds,
                 stat_tasks, attempts,
             )
@@ -660,6 +700,7 @@ class ClusterRuntime:
             splits_total=splits_total,
             spilled_bytes=build.spilled_bytes + probe_spill_bytes,
             in_memory_build_bytes=build.in_memory_bytes,
+            output_sizes=output_sizes,
         )
 
     def _finalize_job(self, job: MapReduceJob,
@@ -667,8 +708,17 @@ class ClusterRuntime:
         """Driver-side completion: materialize output, merge statistics."""
         counters = data.counters
         output_rows = data.output_rows
+        # Sizes computed during the pass equal the write-side estimate for
+        # schema-free (intermediate) outputs and for typed schemas whose
+        # field kinds all size value-exactly; both reduce to
+        # estimate_value_size per row. Other outputs re-derive from schema.
+        row_sizes = None
+        if data.output_sizes is not None and \
+                job.output_schema.sizes_value_exact_kinds:
+            row_sizes = data.output_sizes
         output_file = self.dfs.write_rows(
-            job.output_name, job.output_schema, output_rows, overwrite=True
+            job.output_name, job.output_schema, output_rows, overwrite=True,
+            row_sizes=row_sizes,
         )
         counters.increment("output", Counters.OUTPUT_RECORDS, len(output_rows))
         counters.increment("output", Counters.OUTPUT_BYTES,
@@ -702,21 +752,31 @@ class ClusterRuntime:
         reduce_task_seconds: list[float],
         stat_tasks: list[TaskStatsCollector],
         attempts=None,
-    ) -> list[Row]:
+    ) -> tuple[list[Row], list[int]]:
         if attempts is None:
             attempts = self._task_attempts(job.name)
         num_reducers = job.num_reducers
+        batch_reducer = job.batch_reducer
+        if batch_reducer is not None:
+            return self._run_batch_reduce_phase(
+                job, map_outputs, counters, reduce_task_seconds,
+                stat_tasks, attempts, batch_reducer,
+            )
+        output_rows: list[Row] = []
+        output_sizes: list[int] = []
         partitions: list[list[tuple[object, Row, int]]] = [
             [] for _ in range(num_reducers)
         ]
+        appends = [partition.append for partition in partitions]
+        hash_of = kmv_hash
         for entry in map_outputs:
-            partitions[kmv_hash(entry[0]) % num_reducers].append(entry)
+            appends[hash_of(entry[0]) % num_reducers](entry)
 
-        output_rows: list[Row] = []
         for partition_id, partition in enumerate(partitions):
+            context = TaskContext()
+            shuffle_bytes = 0
             groups: dict[object, list[Row]] = defaultdict(list)
             order: dict[object, int] = {}
-            shuffle_bytes = 0
             for key, value, size in partition:
                 shuffle_bytes += 8 + size
                 frozen = _freeze_key(key)
@@ -724,9 +784,8 @@ class ClusterRuntime:
                     order[frozen] = len(order)
                 groups[frozen].append(value)
 
-            context = TaskContext()
-            # Keys are reduced in a deterministic (sorted-by-arrival) order,
-            # mirroring the framework's sort phase.
+            # Keys are reduced in a deterministic (sorted-by-arrival)
+            # order, mirroring the framework's sort phase.
             for frozen in sorted(groups, key=lambda item: order[item]):
                 job.reducer(context, frozen, groups[frozen])  # type: ignore[misc]
 
@@ -734,6 +793,7 @@ class ClusterRuntime:
             task_sizes = [estimate_value_size(row) for row in task_rows]
             task_bytes = sum(task_sizes)
             output_rows.extend(task_rows)
+            output_sizes.extend(task_sizes)
             if job.stats_columns:
                 collector = self._make_collector(job, f"reduce-{partition_id}")
                 collector.observe_batch(task_rows, task_sizes)
@@ -759,7 +819,93 @@ class ClusterRuntime:
             reduce_task_seconds.append(
                 attempts(self.cost_model.reduce_task_seconds(work))
             )
-        return output_rows
+        return output_rows, output_sizes
+
+    def _run_batch_reduce_phase(
+        self,
+        job: MapReduceJob,
+        map_outputs: list[tuple[object, Row, int]],
+        counters: Counters,
+        reduce_task_seconds: list[float],
+        stat_tasks: list[TaskStatsCollector],
+        attempts,
+        batch_reducer,
+    ) -> tuple[list[Row], list[int]]:
+        """Columnar reduce: one global grouping pass, then hash per *group*.
+
+        Every entry of a group lands in the same partition (the partition
+        function only sees the key), so grouping first and routing whole
+        groups hashes each distinct key once instead of once per record.
+        Per partition, groups keep global first-arrival order, which is
+        exactly the order the per-partition grouping pass would produce --
+        and matches the row path's sorted-by-arrival reduce order.
+        """
+        num_reducers = job.num_reducers
+        grouped: dict[object, tuple[list[Row], list[int]]] = {}
+        get_group = grouped.get
+        for key, value, size in map_outputs:
+            kind = type(key)
+            if kind is list or kind is tuple:
+                frozen = _freeze_key(key)
+            else:  # scalar keys (the common case) freeze to themselves
+                frozen = key
+            entry = get_group(frozen)
+            if entry is None:
+                grouped[frozen] = ([value], [size])
+            else:
+                entry[0].append(value)
+                entry[1].append(size)
+
+        partitions: list[list[tuple[object, list[Row], list[int]]]] = [
+            [] for _ in range(num_reducers)
+        ]
+        hash_of = kmv_hash
+        for frozen, (values, sizes) in grouped.items():
+            partitions[hash_of(frozen) % num_reducers].append(
+                (frozen, values, sizes)
+            )
+
+        output_rows: list[Row] = []
+        output_sizes: list[int] = []
+        for partition_id, partition in enumerate(partitions):
+            context = TaskContext()
+            input_records = 0
+            shuffle_bytes = 0
+            for _, values, sizes in partition:
+                input_records += len(values)
+                shuffle_bytes += 8 * len(values) + sum(sizes)
+            emit = batch_reducer(context, partition)
+            task_rows = emit.rows
+            task_sizes = emit.sizes
+            task_bytes = sum(task_sizes)
+            output_rows.extend(task_rows)
+            output_sizes.extend(task_sizes)
+            if job.stats_columns:
+                collector = self._make_collector(job, f"reduce-{partition_id}")
+                collector.observe_batch(task_rows, task_sizes)
+                collector.publish()
+                stat_tasks.append(collector)
+
+            counters.increment("reduce", Counters.REDUCE_INPUT_RECORDS,
+                               input_records)
+            counters.increment("reduce", Counters.SHUFFLE_BYTES, shuffle_bytes)
+            counters.increment("reduce", Counters.REDUCE_OUTPUT_RECORDS,
+                               len(task_rows))
+            stats_cpu = 0.0
+            if job.stats_columns:
+                stats_cpu = (len(task_rows)
+                             * self.config.cluster.stats_seconds_per_record)
+            work = TaskWork(
+                input_records=input_records,
+                output_bytes=task_bytes,
+                output_records=len(task_rows),
+                shuffle_bytes=shuffle_bytes,
+                extra_cpu_seconds=context.extra_cpu_seconds + stats_cpu,
+            )
+            reduce_task_seconds.append(
+                attempts(self.cost_model.reduce_task_seconds(work))
+            )
+        return output_rows, output_sizes
 
     def _make_collector(self, job: MapReduceJob,
                         task_id: str) -> TaskStatsCollector:

@@ -155,6 +155,64 @@ def estimate_value_size(value: Any) -> int:
     return 8
 
 
+def estimate_dict_size(row: dict[str, Any]) -> int:
+    """Schema-free size of one record dict; equals ``estimate_value_size``.
+
+    Inlines the scalar dispatch for the four value shapes that dominate
+    engine rows (int/float, str, None/bool) and only falls back to the
+    recursive estimator for nested values. ``type(True) is bool`` (never
+    ``int``), so the branch order cannot misclassify bools.
+    """
+    total = 2
+    evs = estimate_value_size
+    for key, item in row.items():
+        kind = type(item)
+        if kind is int or kind is float:
+            total += len(key) + 10
+        elif kind is str:
+            total += len(key) + 2 + (len(item) or 1)
+        elif item is None or kind is bool:
+            total += len(key) + 3
+        else:
+            total += len(key) + 2 + evs(item)
+    return total
+
+
+def estimate_dict_sizes(rows: Iterable[dict[str, Any]]) -> list[int]:
+    """Bulk :func:`estimate_dict_size` over a batch of record dicts."""
+    size_of = estimate_dict_size
+    return [size_of(row) for row in rows]
+
+
+def column_values_conform(kind: str, values: Iterable[Any]) -> bool:
+    """Do all ``values`` of a ``kind`` column size value-exactly?
+
+    The per-column leg of the value-exactness scan (see
+    ``DFSFile.sizes_are_value_exact``): for conforming values the schema
+    sizer and :func:`estimate_value_size` agree byte for byte. Exact
+    ``type`` membership is deliberate -- a bool smuggled into an int
+    field sizes 8 by schema but 3 by value and must disqualify the
+    column. Only meaningful for kinds admitted by
+    ``Schema.sizes_value_exact_scannable``.
+    """
+    if not isinstance(values, list):
+        values = list(values)
+    observed = set(map(type, values))
+    observed.discard(type(None))
+    if kind == "string":
+        return observed <= {str}
+    if kind == "bool":
+        return observed <= {bool}
+    if kind == "date":
+        # Schema charges a fixed 10-byte payload; value sizing charges
+        # the string's length -- equal exactly for the canonical 10-char
+        # ``YYYY-MM-DD`` form.
+        if not observed <= {str}:
+            return False
+        return not any(v is not None and len(v) != 10 for v in values)
+    return observed <= {int, float}
+
+
 # Convenience singletons for the common atomics.
 INT = FieldType.atomic("int")
 FLOAT = FieldType.atomic("float")
@@ -274,6 +332,30 @@ class Schema:
     _sizers: dict[str, tuple[int, int, Any]] = field(
         init=False, repr=False, compare=False, default_factory=dict
     )
+    #: True when every field kind sizes exactly like the schema-free value
+    #: estimator would for *conforming* values: int/float (payload 8),
+    #: string (len or 1) and bool (payload 1) all mirror
+    #: :func:`estimate_value_size` arithmetic, while date (fixed 10 vs
+    #: string length) and nested array/struct types (different framing) do
+    #: not. The DFS uses this to decide whether stored per-row sizes can
+    #: double as value-exact sizes for batch byte accounting.
+    sizes_value_exact_kinds: bool = field(
+        init=False, repr=False, compare=False, default=True
+    )
+    #: Like :attr:`sizes_value_exact_kinds` but additionally admits date
+    #: fields, whose fixed 10-byte payload matches value sizing only for
+    #: canonical 10-char strings -- i.e. exactness is *data-dependent* and
+    #: needs the DFS file's per-column scan to certify.
+    sizes_value_exact_scannable: bool = field(
+        init=False, repr=False, compare=False, default=True
+    )
+    #: key-tuple -> per-position sizing plan memo for the bulk sizer; rows
+    #: from one producer almost always share a key layout, so the per-field
+    #: name lookups collapse to one dict hit per row (bounded; see
+    #: :meth:`estimated_row_sizes`).
+    _row_plans: dict[tuple[str, ...], list[tuple[int, int, Any]]] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
 
     def __post_init__(self) -> None:
         seen: set[str] = set()
@@ -285,6 +367,8 @@ class Schema:
             self, "_index", {name: ftype for name, ftype in self.fields}
         )
         sizers: dict[str, tuple[int, int, Any]] = {}
+        exact_kinds = True
+        scannable = True
         for name, ftype in self.fields:
             base = len(name) + 2
             if ftype.kind == "string":
@@ -293,7 +377,13 @@ class Schema:
                 sizers[name] = (base, 0, base + _ATOMIC_SIZES[ftype.kind])
             else:
                 sizers[name] = (base, 2, ftype)
+            if ftype.kind not in ("int", "float", "string", "bool"):
+                exact_kinds = False
+                if ftype.kind != "date":
+                    scannable = False
         object.__setattr__(self, "_sizers", sizers)
+        object.__setattr__(self, "sizes_value_exact_kinds", exact_kinds)
+        object.__setattr__(self, "sizes_value_exact_scannable", scannable)
 
     @staticmethod
     def of(**members: FieldType) -> "Schema":
@@ -382,6 +472,59 @@ class Schema:
                 else:
                     total += entry[0] + entry[2].estimated_size(value)
         return total
+
+    def estimated_row_sizes(self, rows: Iterable[dict[str, Any]]) -> list[int]:
+        """Bulk :meth:`estimated_row_size` (identical arithmetic per row).
+
+        DFS materialization sizes every stored row; doing it batch-at-a-time
+        hoists the sizer lookups out of the per-row loop, and the common
+        empty-schema case (intermediate job outputs) reduces to the
+        schema-free dict sizer, which is the same fallback expression.
+        """
+        sizers = self._sizers
+        if not sizers:
+            return estimate_dict_sizes(rows)
+        get = sizers.get
+        evs = estimate_value_size
+        # Rows in one batch overwhelmingly share a key layout; memoizing
+        # the per-position plan on the key tuple replaces the per-field
+        # name lookup with one dict hit per row. Tag 3 marks fields outside
+        # the schema (value-estimator fallback); its None case collapses to
+        # the same ``base + 1`` as the typed entries.
+        plans = self._row_plans
+        plan_of = plans.get
+        plan = None
+        plan_keys: tuple[str, ...] | None = None
+        sizes: list[int] = []
+        append = sizes.append
+        for row in rows:
+            keys = tuple(row)
+            if keys != plan_keys:
+                plan_keys = keys
+                plan = plan_of(keys)
+                if plan is None:
+                    plan = [
+                        get(name) or (len(name) + 2, 3, None)
+                        for name in keys
+                    ]
+                    if len(plans) < 1024:
+                        plans[keys] = plan
+            total = 2  # record framing
+            for entry, value in zip(plan, row.values()):
+                if value is None:
+                    total += entry[0] + 1
+                else:
+                    tag = entry[1]
+                    if tag == 0:
+                        total += entry[2]
+                    elif tag == 1:
+                        total += entry[0] + (len(value) or 1)
+                    elif tag == 3:
+                        total += entry[0] + evs(value)
+                    else:
+                        total += entry[0] + entry[2].estimated_size(value)
+            append(total)
+        return sizes
 
     def describe(self) -> str:
         inner = ", ".join(f"{name}: {t.describe()}" for name, t in self.fields)

@@ -7,10 +7,10 @@ split sizing and the optimizer's ``size(R)`` inputs are all consistent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from repro.data.schema import Schema
+from repro.data.schema import Schema, column_values_conform
 from repro.errors import SchemaError
 
 Row = dict[str, Any]
@@ -23,6 +23,11 @@ class Table:
     name: str
     schema: Schema
     rows: list[Row]
+    #: memo for :meth:`dfs_size_hints`; rows are immutable by engine-wide
+    #: convention, so sizing is a pure function of the table.
+    _size_hints: "tuple[list[int], bool] | None" = field(
+        init=False, repr=False, compare=False, default=None
+    )
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -58,7 +63,37 @@ class Table:
 
     def size_in_bytes(self) -> int:
         """Total estimated serialized size (what HDFS would report)."""
-        return sum(self.schema.estimated_row_size(row) for row in self.rows)
+        return sum(self.dfs_size_hints()[0])
+
+    def dfs_size_hints(self) -> tuple[list[int], bool]:
+        """Per-row schema sizes plus value-exactness, computed once.
+
+        The DFS load path re-sized every row and re-scanned every column
+        each time the same table was written into a fresh filesystem
+        (every benchmark rep, every service run). Both results are pure
+        functions of the (immutable-by-convention) rows, so they are
+        memoized here and handed to ``write_rows`` as hints. The bool is
+        the answer to ``DFSFile.sizes_are_value_exact``: do the schema
+        sizes equal ``estimate_value_size`` row for row?
+        """
+        hints = self._size_hints
+        if hints is None:
+            schema = self.schema
+            sizes = schema.estimated_row_sizes(self.rows)
+            if not schema.fields:
+                exact = True
+            elif not schema.sizes_value_exact_scannable:
+                exact = False
+            else:
+                exact = all(
+                    column_values_conform(
+                        ftype.kind, [row.get(name) for row in self.rows]
+                    )
+                    for name, ftype in schema.fields
+                )
+            hints = (sizes, exact)
+            self._size_hints = hints
+        return hints
 
     def average_row_size(self) -> float:
         if not self.rows:

@@ -26,13 +26,20 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
-from repro.cluster.job import BroadcastBuild, MapReduceJob, TaskContext
+from repro.cluster.job import (
+    BatchEmit,
+    BroadcastBuild,
+    MapReduceJob,
+    TaskContext,
+)
 from repro.config import DynoConfig
-from repro.data.schema import Schema
+from repro.data.columns import RowBatch, estimate_dict_size, resolve_backend
+from repro.data.schema import Schema, estimate_value_size
 from repro.data.table import Row
 from repro.errors import PlanError
 from repro.jaql.blocks import BlockLeaf
-from repro.jaql.expr import GroupBy, Predicate
+from repro.jaql.expr import Aggregate, GroupBy, Predicate, qualify_row
+from repro.jaql.vector import ColumnResolver, select, supports_vector
 from repro.optimizer.plans import (
     HASH_BUILD_METHODS,
     HYBRID,
@@ -44,6 +51,12 @@ from repro.storage.dfs import DistributedFileSystem
 
 #: Per-row pipeline stage: one input row -> zero or more output rows.
 RowTransform = Callable[[TaskContext, Row], Iterable[Row]]
+
+#: Columnar pipeline stage: one whole batch in, one materialized batch out.
+#: Output rows/order/sizes are identical to driving the stage's
+#: :data:`RowTransform` over the batch row by row -- the batch path is an
+#: execution strategy, never a semantic change.
+BatchTransform = Callable[[TaskContext, object], object]
 
 #: Schema attached to intermediate files. Intermediates carry qualified
 #: (flattened) rows whose exact field set varies per plan; a permissive
@@ -132,10 +145,19 @@ class _Stream:
     #: cumulative optimizer cost of subtrees already materialized upstream.
     upstream_cost: float = 0.0
     node: PhysicalNode | None = None
+    #: columnar counterpart of ``transform``; None when this stream (or the
+    #: config) has no batch path, in which case the whole job falls back to
+    #: the row engine.
+    batch_transform: BatchTransform | None = None
 
 
 def _identity_transform(context: TaskContext, row: Row) -> Iterable[Row]:
     return (row,)
+
+
+def _identity_batch_transform(context: TaskContext, batch: object) -> object:
+    """Batch identity: split batches already satisfy the batch protocol."""
+    return batch
 
 
 class PlanCompiler:
@@ -150,6 +172,9 @@ class PlanCompiler:
         #: base table name -> DFS file name (identity unless remapped).
         self.table_files = table_files or {}
         self._counter = 0
+        self._columnar = config.columnar
+        self._use_numpy = (resolve_backend(config.columnar_backend)
+                           if config.columnar else False)
 
     # -- public ---------------------------------------------------------------------
 
@@ -195,6 +220,45 @@ class PlanCompiler:
                 out[aggregate.output_name] = aggregate.final(state)
             context.emit(None, out)
 
+        batch_mapper = None
+        batch_reducer = None
+        if self._columnar:
+            def batch_mapper(context: TaskContext, source: str,
+                             batch) -> BatchEmit:
+                # Group-by shuffles every input row under its key tuple --
+                # no None-key skip, matching the row mapper -- so the rows
+                # and their stored split sizes pass through untouched.
+                rows = batch.rows
+                count = len(rows)
+                if not keys:
+                    out_keys: list = [()] * count
+                else:
+                    resolver = ColumnResolver(batch)
+                    key_columns = [resolver.values(ref) for ref in keys]
+                    if len(key_columns) == 1:
+                        out_keys = [(value,) for value in key_columns[0]]
+                    else:
+                        out_keys = list(zip(*key_columns))
+                return BatchEmit(rows=list(rows),
+                                 sizes=batch.ensure_sizes(),
+                                 keys=out_keys)
+
+            def batch_reducer(context: TaskContext, groups) -> BatchEmit:
+                out_rows: list[Row] = []
+                out_sizes: list[int] = []
+                for key, values, _sizes in groups:
+                    key_parts = key if isinstance(key, tuple) else (key,)
+                    out: Row = {
+                        ref.qualified: part
+                        for ref, part in zip(keys, key_parts)
+                    }
+                    for aggregate in aggregates:
+                        out[aggregate.output_name] = _fold_aggregate(
+                            aggregate, values)
+                    out_rows.append(out)
+                    out_sizes.append(estimate_dict_size(out))
+                return BatchEmit(rows=out_rows, sizes=out_sizes)
+
         name = self._next_name(job_label)
         output = f"{name}.out"
         job = MapReduceJob(
@@ -206,6 +270,8 @@ class PlanCompiler:
             output_name=output,
             output_schema=_intermediate_schema(),
             description=f"group by over {input_file}",
+            batch_mapper=batch_mapper,
+            batch_reducer=batch_reducer,
         )
         return CompiledJob(
             job=job,
@@ -243,6 +309,8 @@ class PlanCompiler:
                 transform=_identity_transform,
                 aliases=node.aliases,
                 node=node,
+                batch_transform=(_identity_batch_transform
+                                 if self._columnar else None),
             )
         cpu_per_row = leaf.cpu_seconds_per_row
 
@@ -259,7 +327,64 @@ class PlanCompiler:
             transform=transform,
             aliases=node.aliases,
             node=node,
+            batch_transform=self._leaf_batch_transform(leaf, cpu_per_row),
         )
+
+    def _leaf_batch_transform(self, leaf: BlockLeaf,
+                              cpu_per_row: float) -> BatchTransform | None:
+        """Vectorized scan+filter over one base-table split.
+
+        Predicates are evaluated over the *raw* (unqualified) columns --
+        qualification renames fields 1:1, so ``ref.column`` addresses the
+        same values ``ref.qualified`` would after :func:`qualify_row` --
+        and only the surviving rows are qualified, in input order, exactly
+        like the row transform.
+        """
+        if not self._columnar:
+            return None
+        predicates = leaf.predicates
+        if not supports_vector(predicates):
+            return None
+        alias = leaf.alias
+        use_numpy = self._use_numpy
+
+        # Qualifying prefixes every key with ``alias.``: each key's length
+        # enters the value-size arithmetic exactly once, so a qualified
+        # row's size is the raw size plus ``len(row) * (len(alias) + 1)``.
+        # When the input batch already knows its sizes (value-exact DFS
+        # files), the output sizes come from that O(1) delta.
+        key_delta = len(alias) + 1
+
+        def batch_transform(context: TaskContext, batch) -> RowBatch:
+            count = len(batch)
+            if cpu_per_row and count:
+                context.charge_cpu(cpu_per_row * count)
+            rows = batch.rows
+            in_sizes = batch.cheap_sizes()
+            if predicates:
+                resolver = ColumnResolver(batch, raw=True,
+                                          use_numpy=use_numpy)
+                selection = select(predicates, resolver, count)
+                if len(selection) != count:
+                    if in_sizes is None:
+                        return RowBatch(
+                            [qualify_row(alias, rows[i]) for i in selection]
+                        )
+                    return RowBatch(
+                        [qualify_row(alias, rows[i]) for i in selection],
+                        [in_sizes[i] + len(rows[i]) * key_delta
+                         for i in selection],
+                    )
+            qualified = [qualify_row(alias, row) for row in rows]
+            if in_sizes is None:
+                return RowBatch(qualified)
+            return RowBatch(
+                qualified,
+                [size + len(row) * key_delta
+                 for size, row in zip(in_sizes, rows)],
+            )
+
+        return batch_transform
 
     def _broadcast_stream(self, node: PhysJoin,
                           jobs: list[CompiledJob]) -> _Stream:
@@ -328,6 +453,11 @@ class PlanCompiler:
                         append(merged)
             return results
 
+        batch_transform = self._probe_batch_transform(
+            probe, build, probe_refs, build_refs, predicates,
+            probe_cpu, pred_cpu,
+        )
+
         return _Stream(
             input_files=probe.input_files,
             transform=transform,
@@ -338,7 +468,95 @@ class PlanCompiler:
             applied_predicates=probe.applied_predicates + predicates,
             upstream_cost=probe.upstream_cost,
             node=node,
+            batch_transform=batch_transform,
         )
+
+    def _probe_batch_transform(self, probe: _Stream, build: BroadcastBuild,
+                               probe_refs, build_refs, predicates,
+                               probe_cpu: float, pred_cpu: float,
+                               ) -> BatchTransform | None:
+        """Bulk hash-join probe: extract key columns once, probe per index.
+
+        The hash table is the same one the row transform would build (same
+        insertion order, same buckets); each bucket entry carries the
+        build row's pre-computed size and field count so merged-row sizes
+        come from O(1) arithmetic (disjoint dict merge: sizes add, minus
+        one shared record framing) instead of re-walking the dict. CPU is
+        charged in bulk: ``probe_cpu`` per probe row and ``pred_cpu`` per
+        join candidate, the same totals as the per-row charges.
+        """
+        if not self._columnar or probe.batch_transform is None:
+            return None
+        inner_batch = probe.batch_transform
+        hash_holder: dict[str, object] = {}
+        single_ref = probe_refs[0] if len(probe_refs) == 1 else None
+
+        def batch_transform(context: TaskContext, batch) -> RowBatch:
+            table = hash_holder.get("table")
+            if table is None or hash_holder.get("source") is not build.rows:
+                table = {}
+                for build_row in build.built_rows():
+                    key = tuple(ref.evaluate(build_row) for ref in build_refs)
+                    if None in key:
+                        continue
+                    table.setdefault(key, []).append(
+                        (build_row, estimate_dict_size(build_row),
+                         len(build_row))
+                    )
+                hash_holder["table"] = table
+                hash_holder["source"] = build.rows
+            inner = inner_batch(context, batch)
+            probe_rows = inner.rows
+            count = len(probe_rows)
+            out_rows: list[Row] = []
+            out_sizes: list[int] = []
+            if not count:
+                return RowBatch(out_rows, out_sizes)
+            if probe_cpu:
+                context.charge_cpu(probe_cpu * count)
+            resolver = ColumnResolver(inner)
+            sizes = inner.ensure_sizes()
+            append_row = out_rows.append
+            append_size = out_sizes.append
+            table_get = table.get
+            candidates = 0
+            if single_ref is not None:
+                key_column = resolver.values(single_ref)
+                buckets = [
+                    None if (value := key_column[i]) is None
+                    else table_get((value,))
+                    for i in range(count)
+                ]
+            else:
+                key_columns = [resolver.values(ref) for ref in probe_refs]
+                buckets = [
+                    None if None in
+                    (key := tuple(column[i] for column in key_columns))
+                    else table_get(key)
+                    for i in range(count)
+                ]
+            for i in range(count):
+                bucket = buckets[i]
+                if bucket is None:
+                    continue
+                probe_row = probe_rows[i]
+                probe_size = sizes[i]
+                probe_len = len(probe_row)
+                for build_row, build_size, build_len in bucket:
+                    merged = {**probe_row, **build_row}
+                    candidates += 1
+                    if not predicates or \
+                            all(p.evaluate(merged) for p in predicates):
+                        append_row(merged)
+                        if len(merged) == probe_len + build_len:
+                            append_size(probe_size + build_size - 2)
+                        else:
+                            append_size(estimate_value_size(merged))
+            if pred_cpu and candidates:
+                context.charge_cpu(pred_cpu * candidates)
+            return RowBatch(out_rows, out_sizes)
+
+        return batch_transform
 
     def _build_side(self, node: PhysicalNode, jobs: list[CompiledJob],
                     probe: _Stream, spillable: bool = False,
@@ -451,6 +669,88 @@ class PlanCompiler:
                     if all(p.evaluate(merged) for p in predicates):
                         context.emit(None, merged)
 
+        batch_mapper = None
+        batch_reducer = None
+        if self._columnar and all(
+                side.batch_transform is not None for side in sides):
+            batch_sides = tuple(side.batch_transform for side in sides)
+            side_files = tuple(frozenset(side.input_files) for side in sides)
+
+            def batch_mapper(context: TaskContext, source: str,
+                             batch) -> BatchEmit:
+                # Tagged shuffle records: ``{"s": side, "r": row}`` sizes
+                # to 16 + size(row) (two one-char keys, one 8-byte int).
+                # Keys stay the same tuples the row mapper emits -- the
+                # hash partitioner must see identical keys.
+                out_keys: list = []
+                out_rows: list[Row] = []
+                out_sizes: list[int] = []
+                for side_index in (0, 1):
+                    if source not in side_files[side_index]:
+                        continue
+                    out = batch_sides[side_index](context, batch)
+                    rows = out.rows
+                    if not rows:
+                        continue
+                    sizes = out.ensure_sizes()
+                    resolver = ColumnResolver(out)
+                    refs = side_refs[side_index]
+                    append_key = out_keys.append
+                    append_row = out_rows.append
+                    append_size = out_sizes.append
+                    if len(refs) == 1:
+                        key_column = resolver.values(refs[0])
+                        for i, value in enumerate(key_column):
+                            if value is None:
+                                continue
+                            append_key((value,))
+                            append_row({"s": side_index, "r": rows[i]})
+                            append_size(16 + sizes[i])
+                    else:
+                        key_columns = [resolver.values(ref) for ref in refs]
+                        for i in range(len(rows)):
+                            key = tuple(column[i] for column in key_columns)
+                            if None in key:
+                                continue
+                            append_key(key)
+                            append_row({"s": side_index, "r": rows[i]})
+                            append_size(16 + sizes[i])
+                return BatchEmit(rows=out_rows, sizes=out_sizes,
+                                 keys=out_keys)
+
+            def batch_reducer(context: TaskContext,
+                              groups) -> BatchEmit:
+                out_rows: list[Row] = []
+                out_sizes: list[int] = []
+                append_row = out_rows.append
+                append_size = out_sizes.append
+                candidates = 0
+                for _key, values, value_sizes in groups:
+                    left_rows = []
+                    right_rows = []
+                    for value, size in zip(values, value_sizes):
+                        # Recover the payload size from the tagged record
+                        # size instead of re-walking the row dict.
+                        if value["s"] == 0:
+                            left_rows.append((value["r"], size - 16))
+                        else:
+                            right_rows.append((value["r"], size - 16))
+                    for left_row, left_size in left_rows:
+                        left_len = len(left_row)
+                        for right_row, right_size in right_rows:
+                            merged = {**left_row, **right_row}
+                            candidates += 1
+                            if all(p.evaluate(merged) for p in predicates):
+                                append_row(merged)
+                                if len(merged) == left_len + len(right_row):
+                                    append_size(
+                                        left_size + right_size - 2)
+                                else:
+                                    append_size(estimate_value_size(merged))
+                if pred_cpu and candidates:
+                    context.charge_cpu(pred_cpu * candidates)
+                return BatchEmit(rows=out_rows, sizes=out_sizes)
+
         name = self._next_name("rjoin")
         output = f"{name}.out"
         inputs = sorted(set(left.input_files) | set(right.input_files))
@@ -470,6 +770,8 @@ class PlanCompiler:
             memory_demand_bytes=self._memory_demand(
                 left.builds + right.builds
             ),
+            batch_mapper=batch_mapper,
+            batch_reducer=batch_reducer,
         )
         depends = _dedupe(
             [up.name for up in left.upstream + right.upstream]
@@ -513,6 +815,16 @@ class PlanCompiler:
                 for out in transform(context, row):
                     emit(None, out)
 
+        batch_mapper = None
+        if self._columnar and stream.batch_transform is not None:
+            stream_batch = stream.batch_transform
+
+            def batch_mapper(context: TaskContext, source: str,
+                             batch) -> BatchEmit:
+                out = stream_batch(context, batch)
+                return BatchEmit(rows=out.rows, sizes=out.ensure_sizes(),
+                                 columns=out)
+
         job = MapReduceJob(
             name=name,
             inputs=list(stream.input_files),
@@ -522,6 +834,7 @@ class PlanCompiler:
             broadcast_builds=list(stream.builds),
             description=f"map-only pipeline over {sorted(stream.aliases)}",
             memory_demand_bytes=self._memory_demand(stream.builds),
+            batch_mapper=batch_mapper,
         )
         node_cost = stream.node.cost if stream.node is not None else 0.0
         compiled = CompiledJob(
@@ -576,6 +889,51 @@ class PlanCompiler:
         per_reducer = 2 * self.config.cluster.block_size_bytes
         wanted = max(1, math.ceil(total_bytes / per_reducer))
         return min(wanted, self.config.cluster.total_reduce_slots)
+
+
+def _fold_aggregate(aggregate: Aggregate, values: list[Row]):
+    """Columnar fold of one aggregate over a group's rows.
+
+    Replicates ``initial()``/``step()``/``final()`` exactly, including the
+    float fold order (left fold from 0.0 for sum/avg) and min/max keeping
+    the earliest value on ties, so results are bit-identical to the row
+    reducer's state machine.
+    """
+    op = aggregate.op
+    if op == "count":
+        return len(values)
+    arg = aggregate.arg
+    assert arg is not None
+    evaluate = arg.evaluate
+    if op == "sum":
+        state = 0.0
+        for row in values:
+            value = evaluate(row)
+            if value is not None:
+                state = state + value
+        return state
+    if op == "avg":
+        total = 0.0
+        count = 0
+        for row in values:
+            value = evaluate(row)
+            if value is not None:
+                total = total + value
+                count += 1
+        return total / count if count else None
+    if op == "min":
+        state = None
+        for row in values:
+            value = evaluate(row)
+            if value is not None and (state is None or value < state):
+                state = value
+        return state
+    state = None
+    for row in values:
+        value = evaluate(row)
+        if value is not None and (state is None or value > state):
+            state = value
+    return state
 
 
 def _dedupe(names: list[str]) -> list[str]:

@@ -1,0 +1,272 @@
+"""Vectorized predicate evaluation over column batches.
+
+The row engine evaluates predicates one row-dict at a time; the columnar
+path evaluates them as *selections*: a predicate maps a list of candidate
+row indices to the sublist that passes. Semantics are exactly those of
+``Predicate.evaluate`` on qualified rows:
+
+* a ``None`` operand fails a comparison;
+* a ``TypeError`` from a comparison counts as False (mixed-type data);
+* ``And`` narrows sequentially, ``Or`` unions its branches (a row passes
+  if any branch passes), UDFs are applied per surviving index.
+
+Comparisons against literals over None-free ``int64``/``float64`` columns
+can use numpy boolean masks; the mask is converted straight back to a
+Python index list (``flatnonzero(...).tolist()``) so numpy scalars never
+escape into rows, keys, or statistics. Mask eligibility is conservative:
+any pairing whose numpy comparison could differ from Python's exact
+semantics (e.g. ``int64`` column vs ``float`` literal, huge int literals
+past 2**53 against floats) falls back to the Python loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.jaql.expr import (
+    And,
+    ColumnRef,
+    Comparison,
+    Or,
+    Predicate,
+    UdfPredicate,
+    _COMPARATORS,
+)
+
+try:  # optional accelerator (see repro.data.columns)
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None  # type: ignore[assignment]
+
+#: numpy comparison per operator; only built when numpy imports.
+_NP_OPS: dict[str, Any] = {}
+if _np is not None:
+    _NP_OPS = {
+        "=": _np.equal,
+        "!=": _np.not_equal,
+        "<": _np.less,
+        "<=": _np.less_equal,
+        ">": _np.greater,
+        ">=": _np.greater_equal,
+    }
+
+#: int literals past this magnitude are not exactly representable as
+#: float64; comparing them against a float column via numpy could round.
+_FLOAT_EXACT_INT = 1 << 53
+
+
+def supports_vector(predicates: Sequence[Predicate]) -> bool:
+    """True when every predicate is a known, vectorizable node type."""
+    return all(_supported(predicate) for predicate in predicates)
+
+
+def _supported(predicate: Predicate) -> bool:
+    kind = type(predicate)
+    if kind is Comparison or kind is UdfPredicate:
+        return True
+    if kind is And or kind is Or:
+        return supports_vector(predicate.parts)
+    return False
+
+
+class ColumnResolver:
+    """Per-batch cache of ``ColumnRef -> column values`` (and arrays).
+
+    ``raw`` selects the unqualified field name (``ref.column``) -- the leaf
+    scan evaluates predicates over base-table rows *before* qualification,
+    which is equivalent because qualification renames every field 1:1.
+    ``use_numpy`` gates the mask path; arrays only exist for step-free
+    refs over batches that expose them (DFS split batches).
+    """
+
+    __slots__ = ("_batch", "_raw", "_use_numpy", "_values", "_arrays")
+
+    def __init__(self, batch: Any, raw: bool = False,
+                 use_numpy: bool = False):
+        self._batch = batch
+        self._raw = raw
+        self._use_numpy = use_numpy
+        self._values: dict[ColumnRef, list[Any]] = {}
+        self._arrays: dict[ColumnRef, Any] = {}
+
+    def _name(self, ref: ColumnRef) -> str:
+        return ref.column if self._raw else ref.qualified
+
+    def values(self, ref: ColumnRef) -> list[Any]:
+        values = self._values.get(ref)
+        if values is None:
+            values = self._batch.column(self._name(ref))
+            if ref.steps:
+                values = _walk_steps(values, ref.steps)
+            self._values[ref] = values
+        return values
+
+    def array(self, ref: ColumnRef) -> Any:
+        if not self._use_numpy or ref.steps:
+            return None
+        if ref in self._arrays:
+            return self._arrays[ref]
+        array = self._batch.array(self._name(ref))
+        self._arrays[ref] = array
+        return array
+
+
+def _walk_steps(values: list[Any], steps: tuple[str | int, ...]) -> list[Any]:
+    """Apply a ref's nested-path steps to every value (None-propagating)."""
+    out: list[Any] = []
+    append = out.append
+    for value in values:
+        for step in steps:
+            if value is None:
+                break
+            if isinstance(step, str):
+                value = value.get(step) if isinstance(value, dict) else None
+            else:
+                if isinstance(value, list) and step < len(value):
+                    value = value[step]
+                else:
+                    value = None
+        append(value)
+    return out
+
+
+def select(predicates: Sequence[Predicate], columns: ColumnResolver,
+           count: int) -> list[int]:
+    """Indices (ascending) of the batch rows passing all ``predicates``."""
+    indices: Sequence[int] = range(count)
+    for predicate in predicates:
+        if not indices:
+            break
+        indices = _apply(predicate, indices, columns)
+    if type(indices) is range:
+        return list(indices)
+    return indices  # type: ignore[return-value]
+
+
+def _apply(predicate: Predicate, indices: Sequence[int],
+           columns: ColumnResolver) -> list[int]:
+    kind = type(predicate)
+    if kind is Comparison:
+        return _apply_comparison(predicate, indices, columns)
+    if kind is And:
+        narrowed: Sequence[int] = indices
+        for part in predicate.parts:
+            if not narrowed:
+                break
+            narrowed = _apply(part, narrowed, columns)
+        return list(narrowed) if type(narrowed) is range else narrowed
+    if kind is Or:
+        survivors: set[int] = set()
+        for part in predicate.parts:
+            survivors.update(_apply(part, indices, columns))
+        return sorted(survivors)
+    if kind is UdfPredicate:
+        udf = predicate.udf
+        arg_columns = [columns.values(arg) for arg in predicate.args]
+        if len(arg_columns) == 1:
+            column = arg_columns[0]
+            return [i for i in indices if udf(column[i])]
+        return [
+            i for i in indices
+            if udf(*(column[i] for column in arg_columns))
+        ]
+    raise TypeError(
+        f"cannot vectorize predicate type {kind.__name__}"
+    )
+
+
+def _apply_comparison(predicate: Comparison, indices: Sequence[int],
+                      columns: ColumnResolver) -> list[int]:
+    right = predicate.right
+    comparator = _COMPARATORS[predicate.op]
+    if isinstance(right, ColumnRef):
+        left_values = columns.values(predicate.left)
+        right_values = columns.values(right)
+        try:
+            return [
+                i for i in indices
+                if (lv := left_values[i]) is not None
+                and (rv := right_values[i]) is not None
+                and comparator(lv, rv)
+            ]
+        except TypeError:
+            # Mixed-type data: redo the scan guarding each comparison the
+            # way Comparison.evaluate does (a failing pair is just False).
+            return _guarded_pair_scan(comparator, left_values, right_values,
+                                      indices)
+    if right is None:
+        # `col op None` is False for every row in the row engine.
+        return []
+    array = columns.array(predicate.left)
+    if array is not None:
+        mask = _literal_mask(array, predicate.op, right)
+        if mask is not None:
+            if type(indices) is range and len(indices) == len(mask):
+                return _np.flatnonzero(mask).tolist()
+            return [i for i in indices if mask[i]]
+    left_values = columns.values(predicate.left)
+    try:
+        return [
+            i for i in indices
+            if (lv := left_values[i]) is not None and comparator(lv, right)
+        ]
+    except TypeError:
+        return _guarded_literal_scan(comparator, left_values, right, indices)
+
+
+def _guarded_pair_scan(comparator, left_values, right_values,
+                       indices) -> list[int]:
+    out: list[int] = []
+    append = out.append
+    for i in indices:
+        lv = left_values[i]
+        rv = right_values[i]
+        if lv is None or rv is None:
+            continue
+        try:
+            if comparator(lv, rv):
+                append(i)
+        except TypeError:
+            pass
+    return out
+
+
+def _guarded_literal_scan(comparator, left_values, right,
+                          indices) -> list[int]:
+    out: list[int] = []
+    append = out.append
+    for i in indices:
+        lv = left_values[i]
+        if lv is None:
+            continue
+        try:
+            if comparator(lv, right):
+                append(i)
+        except TypeError:
+            pass
+    return out
+
+
+def _literal_mask(array: Any, op: str, literal: Any) -> Any:
+    """Boolean mask for ``array op literal``, or None when not exact.
+
+    The array is None-free ``int64`` or ``float64`` by construction
+    (:func:`repro.data.columns.to_column_array`). Only literal/dtype
+    pairings whose numpy comparison provably matches Python's exact
+    semantics take the mask path.
+    """
+    kind = type(literal)
+    dtype_kind = array.dtype.kind
+    if dtype_kind == "i":
+        # int64 column: only exact-int literals that fit comfortably.
+        if kind is not int or abs(literal) > (1 << 62):
+            return None
+    elif dtype_kind == "f":
+        if kind is int:
+            if abs(literal) > _FLOAT_EXACT_INT:
+                return None
+        elif kind is not float:
+            return None
+    else:  # pragma: no cover - to_column_array only emits i/f
+        return None
+    return _NP_OPS[op](array, literal)

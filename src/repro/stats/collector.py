@@ -54,6 +54,19 @@ class TaskStatsCollector:
             )
         self.running.update_batch(rows, row_sizes)
 
+    def observe_columns(self, provider: object, row_sizes: list[int]) -> None:
+        """Accumulate a task's output straight from its column batch.
+
+        ``provider`` is any batch exposing ``column(name)`` and ``len()``
+        (see :mod:`repro.data.columns`); the frozen statistics are
+        identical to :meth:`observe_batch` over the batch's rows.
+        """
+        if self._published:
+            raise StatisticsError(
+                f"task {self.task_id} already published its statistics"
+            )
+        self.running.update_columns(provider, len(row_sizes), row_sizes)
+
     def publish(self) -> None:
         """Task finished: publish partial stats (the 'URL in ZooKeeper')."""
         self._coordination.publish(
@@ -70,8 +83,11 @@ def merge_published_stats(job_name: str,
     if not entries:
         return None
     partials = [entries[key] for key in sorted(entries)]
-    merged = partials[0]
-    for partial in partials[1:]:
-        merged = merged.merge(partial)
+    if len(partials) == 1:
+        merged = partials[0]
+    else:
+        # One n-way pass; identical to left-folding pairwise merges but
+        # without the quadratic intermediate synopsis/count-table copies.
+        merged = RunningStats.merge_all(partials)
     coordination.clear_scope(stats_scope(job_name))
     return merged.freeze(exact=exact)

@@ -194,6 +194,33 @@ class KMVSynopsis:
         heapq.heapify(merged._heap)
         return merged
 
+    @staticmethod
+    def merge_many(synopses: "list[KMVSynopsis]") -> "KMVSynopsis":
+        """N-way union; identical to left-folding pairwise :meth:`merge`.
+
+        The fold's survivors are exactly the k smallest hashes of the full
+        union (every true top-k hash ranks within any subset's top-k, so
+        no fold step can drop it; everything else is dropped by the final
+        step at the latest), so one union + one C-level sort replaces the
+        quadratic membership churn of n-1 pairwise merges.
+        """
+        if not synopses:
+            raise StatisticsError("merge_many requires at least one synopsis")
+        if len(synopses) == 1:
+            return synopses[0].merge(synopses[0])
+        merged = KMVSynopsis(min(synopsis.k for synopsis in synopses))
+        k = merged.k
+        union: set[int] = set()
+        union.update(*(synopsis._members for synopsis in synopses))
+        if len(union) > k:
+            retained = sorted(union)[:k]
+        else:
+            retained = list(union)
+        merged._members = set(retained)
+        merged._heap = [-hashed for hashed in retained]
+        heapq.heapify(merged._heap)
+        return merged
+
     # -- estimation --------------------------------------------------------------
 
     def __len__(self) -> int:

@@ -13,6 +13,7 @@ optimizer consumes, including the paper's extrapolation from a sample
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
@@ -385,25 +386,65 @@ class RunningColumn:
         self.null_count += len(values) - len(non_null)
         if not non_null:
             return
-        self.synopsis.add_all(non_null)
+        # Uniformly typed scalar batches (the overwhelmingly common case)
+        # take C-speed shortcuts below; anything mixed or nested falls back
+        # to the per-value loops. Exact ``type`` membership keeps bools
+        # (orderable like ints but not _comparable) on the slow path.
+        kinds = set(map(type, non_null))
+        scalar = kinds <= {int, float, str}
+        if scalar:
+            # The synopsis is a pure function of the distinct-hash set, so
+            # duplicates are no-ops; deduping first hashes each distinct
+            # value once. Equality-merged pairs (2 and 2.0) share a
+            # canonical hash by design, and bools -- which equal ints but
+            # hash differently -- cannot reach this branch.
+            self.synopsis.add_all(dict.fromkeys(non_null))
+        else:
+            self.synopsis.add_all(non_null)
         counts = self.value_counts
         if counts is not None:
             limit = self.MAX_EXACT_VALUES
-            get = counts.get
-            for value in non_null:
-                key = _count_key(value)
-                counts[key] = get(key, 0) + 1
+            if scalar:
+                # Scalars are their own _count_key; bulk-count then fold.
+                # Crossing the budget drops the table either way, so
+                # checking once per batch instead of once per insert
+                # reaches the identical final state.
+                batch_counts = Counter(non_null)
+                if counts:
+                    get = counts.get
+                    for key, count in batch_counts.items():
+                        counts[key] = get(key, 0) + count
+                else:
+                    counts.update(batch_counts)
                 if len(counts) > limit:
                     self.value_counts = None
-                    break
+            else:
+                get = counts.get
+                for value in non_null:
+                    key = _count_key(value)
+                    counts[key] = get(key, 0) + 1
+                    if len(counts) > limit:
+                        self.value_counts = None
+                        break
         min_value = self.min_value
         max_value = self.max_value
-        for value in non_null:
-            if _comparable(value):
-                if min_value is None or _less(value, min_value):
-                    min_value = value
-                if max_value is None or _less(max_value, value):
-                    max_value = value
+        if scalar and (kinds <= {int, float} or kinds == {str}):
+            # No numeric/string mixing, so _less degenerates to ``<`` and
+            # builtins.min/max (first minimal/maximal element, matching
+            # the strict-less update rule) give the identical answer.
+            batch_min = min(non_null)
+            batch_max = max(non_null)
+            if min_value is None or _less(batch_min, min_value):
+                min_value = batch_min
+            if max_value is None or _less(max_value, batch_max):
+                max_value = batch_max
+        else:
+            for value in non_null:
+                if _comparable(value):
+                    if min_value is None or _less(value, min_value):
+                        min_value = value
+                    if max_value is None or _less(max_value, value):
+                        max_value = value
         self.min_value = min_value
         self.max_value = max_value
 
@@ -447,6 +488,67 @@ class RunningColumn:
                 merged.max_value is None or _less(merged.max_value, value)
             ):
                 merged.max_value = value
+        return merged
+
+    @staticmethod
+    def merge_many(columns: "list[RunningColumn]") -> "RunningColumn":
+        """N-way merge; identical to left-folding pairwise :meth:`merge`.
+
+        Every constituent is associative and order-respecting: counts sum;
+        the synopsis union keeps the k smallest hashes regardless of fold
+        shape; the count table survives n-way exactly when it survives
+        every fold step (intermediate sizes grow monotonically) with the
+        same insertion order; min/max fold left-to-right with the same
+        strict-:func:`_less` rule. Doing it in one pass avoids the
+        quadratic intermediate copies of n-1 pairwise merges.
+        """
+        if not columns:
+            raise StatisticsError("merge_many requires at least one column")
+        first = columns[0]
+        name = first.name
+        for column in columns:
+            if column.name != name:
+                raise StatisticsError(
+                    f"cannot merge columns {name!r} and {column.name!r}"
+                )
+        if len(columns) == 1:
+            return first.merge(first)
+        merged = RunningColumn(name, min(c.synopsis.k for c in columns))
+        merged.synopsis = KMVSynopsis.merge_many(
+            [column.synopsis for column in columns]
+        )
+        merged.null_count = sum(column.null_count for column in columns)
+        merged.total_count = sum(column.total_count for column in columns)
+        if all(column.value_counts is not None for column in columns):
+            combined = dict(first.value_counts)  # type: ignore[arg-type]
+            get = combined.get
+            for column in columns[1:]:
+                for key, count in column.value_counts.items():  # type: ignore[union-attr]
+                    combined[key] = get(key, 0) + count
+            merged.value_counts = (
+                combined
+                if len(combined) <= RunningColumn.MAX_EXACT_VALUES else None
+            )
+        else:
+            merged.value_counts = None
+        merged._split_dv_sum = sum(
+            column._split_dv_contribution() for column in columns
+        )
+        min_value = None
+        max_value = None
+        for column in columns:
+            value = column.min_value
+            if value is not None and (
+                min_value is None or _less(value, min_value)
+            ):
+                min_value = value
+            value = column.max_value
+            if value is not None and (
+                max_value is None or _less(max_value, value)
+            ):
+                max_value = value
+        merged.min_value = min_value
+        merged.max_value = max_value
         return merged
 
     def freeze(self) -> ColumnStats:
@@ -561,6 +663,34 @@ class RunningStats:
                     append(tuple(members))
             column.update_many(values)
 
+    def update_columns(self, provider: Any, row_count: int,
+                       row_sizes: list[int]) -> None:
+        """Bulk accumulate from a column provider; same result as
+        :meth:`update_batch` over the provider's rows.
+
+        ``provider.column(name)`` must return exactly what the row gather
+        would -- ``[row.get(name) for row in rows]`` -- which both batch
+        classes in :mod:`repro.data.columns` guarantee.
+        """
+        if not row_count:
+            return
+        self.row_count += row_count
+        self.size_bytes += sum(row_sizes)
+        for name, column in self.columns.items():
+            parts = self._parts.get(name)
+            if parts is None:
+                column.update_many(provider.column(name))
+                continue
+            part_columns = [provider.column(part) for part in parts]
+            values: list = []
+            append = values.append
+            for members in zip(*part_columns):
+                if all(member is None for member in members):
+                    append(None)
+                else:
+                    append(members)
+            column.update_many(values)
+
     def merge(self, other: "RunningStats") -> "RunningStats":
         if set(self.columns) != set(other.columns):
             raise StatisticsError("cannot merge stats over different columns")
@@ -570,6 +700,34 @@ class RunningStats:
         merged.columns = {
             name: column.merge(other.columns[name])
             for name, column in self.columns.items()
+        }
+        return merged
+
+    @staticmethod
+    def merge_all(partials: "list[RunningStats]") -> "RunningStats":
+        """N-way merge of task partials; equals left-folding :meth:`merge`.
+
+        The client-side merge after a job with hundreds of tasks is the
+        hot path here: one pass per column instead of n-1 intermediate
+        :class:`RunningStats` allocations.
+        """
+        if not partials:
+            raise StatisticsError("merge_all requires at least one partial")
+        first = partials[0]
+        column_set = set(first.columns)
+        for partial in partials[1:]:
+            if set(partial.columns) != column_set:
+                raise StatisticsError(
+                    "cannot merge stats over different columns"
+                )
+        merged = RunningStats(first.columns, first._kmv_size)
+        merged.row_count = sum(partial.row_count for partial in partials)
+        merged.size_bytes = sum(partial.size_bytes for partial in partials)
+        merged.columns = {
+            name: RunningColumn.merge_many(
+                [partial.columns[name] for partial in partials]
+            )
+            for name in first.columns
         }
         return merged
 

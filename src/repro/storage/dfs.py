@@ -13,7 +13,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
-from repro.data.schema import Schema
+from repro.data.columns import SplitBatch, column_index, to_column_array
+from repro.data.schema import Schema, column_values_conform
 from repro.data.table import Row, Table
 from repro.errors import StorageError
 
@@ -42,6 +43,21 @@ class DFSFile:
     block_size_bytes: int
     splits: list[Split] = field(default_factory=list)
     size_bytes: int = 0
+    #: per-row estimated sizes; accepted from callers that already sized
+    #: the rows with the schema's estimator (job finalize does), otherwise
+    #: computed in bulk by :meth:`_build_splits`.
+    row_sizes: list[int] | None = None
+    #: lazy column caches shared by every split/read of this file.
+    _columns: dict[str, list] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+    _arrays: dict[str, object] = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
+    #: memo for :meth:`sizes_are_value_exact` (None until first asked).
+    _sizes_exact: bool | None = field(
+        init=False, repr=False, compare=False, default=None
+    )
 
     def __post_init__(self) -> None:
         if self.block_size_bytes <= 0:
@@ -50,20 +66,23 @@ class DFSFile:
 
     def _build_splits(self) -> None:
         self.splits = []
-        self.size_bytes = 0
         start = 0
         block_rows = 0
         block_bytes = 0
-        for position, row in enumerate(self.rows):
-            row_bytes = self.schema.estimated_row_size(row)
-            if block_bytes + row_bytes > self.block_size_bytes and block_rows:
+        sizes = self.row_sizes
+        if sizes is None or len(sizes) != len(self.rows):
+            sizes = self.schema.estimated_row_sizes(self.rows)
+            self.row_sizes = sizes
+        self.size_bytes = sum(sizes)
+        block_size_bytes = self.block_size_bytes
+        for position, row_bytes in enumerate(sizes):
+            if block_bytes + row_bytes > block_size_bytes and block_rows:
                 self._append_split(start, block_rows, block_bytes)
                 start = position
                 block_rows = 0
                 block_bytes = 0
             block_rows += 1
             block_bytes += row_bytes
-            self.size_bytes += row_bytes
         if block_rows or not self.splits:
             self._append_split(start, block_rows, block_bytes)
 
@@ -84,6 +103,72 @@ class DFSFile:
                 f"split {split.describe()} does not belong to {self.name}"
             )
         return self.rows[split.start_row:split.start_row + split.row_count]
+
+    def split_batch(self, split: Split) -> SplitBatch:
+        """Columnar view of one split (shares the file's column caches)."""
+        start = split.start_row
+        stop = start + split.row_count
+        return SplitBatch(self.split_rows(split), self, start, stop)
+
+    @property
+    def sizes_are_value_exact(self) -> bool:
+        """True when stored row sizes equal ``estimate_value_size`` per row.
+
+        Three ways a file earns this (the invariant :class:`SplitBatch`
+        relies on to reuse stored sizes for batch byte accounting):
+
+        * an empty schema sends every field through the schema-free
+          fallback of :meth:`Schema.estimated_row_size`, which *is* the
+          value estimator;
+        * the writer supplied ``row_sizes`` it computed with the value
+          estimator (the runtime's job-finalize path);
+        * the schema's field kinds all size value-exactly for conforming
+          values (:attr:`Schema.sizes_value_exact_kinds`) and a one-time
+          per-column type scan confirms every stored value conforms.
+
+        The scan result is memoized, so typed base-table files pay one
+        column sweep instead of re-sizing every row on every batch read.
+        """
+        exact = self._sizes_exact
+        if exact is None:
+            exact = self._check_sizes_value_exact()
+            self._sizes_exact = exact
+        return exact
+
+    def _check_sizes_value_exact(self) -> bool:
+        schema = self.schema
+        if not schema.fields:
+            return True
+        if not schema.sizes_value_exact_scannable:
+            return False
+        return all(
+            column_values_conform(ftype.kind, self.column_values(name))
+            for name, ftype in schema.fields
+        )
+
+    def column_values(self, name: str) -> list:
+        """Values of ``name`` across all rows, gathered once and cached."""
+        values = self._columns.get(name)
+        if values is None:
+            rows = self.rows
+            if name in column_index(self.schema.names):
+                try:
+                    values = [row[name] for row in rows]
+                except KeyError:  # sparse row despite a declared field
+                    values = [row.get(name) for row in rows]
+            else:
+                values = [row.get(name) for row in rows]
+            self._columns[name] = values
+        return values
+
+    def column_array(self, name: str) -> object:
+        """numpy array of ``name`` when eligible (cached), else None."""
+        arrays = self._arrays
+        if name in arrays:
+            return arrays[name]
+        array = to_column_array(self.column_values(name))
+        arrays[name] = array
+        return array
 
     def iter_rows(self) -> Iterator[Row]:
         return iter(self.rows)
@@ -126,19 +211,40 @@ class DistributedFileSystem:
 
     def write_table(self, table: Table, name: str | None = None,
                     overwrite: bool = False) -> DFSFile:
-        """Materialize a table as a DFS file (the load path)."""
+        """Materialize a table as a DFS file (the load path).
+
+        Sizing and the value-exactness scan are memoized on the table,
+        so loading the same table into many DFS instances (every bench
+        rep, every service run) pays them once.
+        """
+        row_sizes, sizes_exact = table.dfs_size_hints()
         return self.write_rows(
-            name or table.name, table.schema, table.rows, overwrite=overwrite
+            name or table.name, table.schema, table.rows,
+            overwrite=overwrite, row_sizes=row_sizes, sizes_exact=sizes_exact,
         )
 
     def write_rows(self, name: str, schema: Schema, rows: Iterable[Row],
-                   overwrite: bool = False) -> DFSFile:
-        """Materialize rows as a DFS file (the job-output path)."""
+                   overwrite: bool = False,
+                   row_sizes: list[int] | None = None,
+                   sizes_exact: bool | None = None) -> DFSFile:
+        """Materialize rows as a DFS file (the job-output path).
+
+        ``row_sizes`` lets callers that already sized every row (job
+        finalize did it for the byte counters; ``write_table`` caches it
+        on the table) skip the re-walk; sizes are validated by length.
+        ``sizes_exact`` pre-answers :attr:`DFSFile.sizes_are_value_exact`
+        for callers that already know; when omitted, provided sizes are
+        taken as value-exact (the finalize contract), and files without
+        provided sizes scan lazily.
+        """
         if not name:
             raise StorageError("file name must be non-empty")
         if self.exists(name) and not overwrite:
             raise StorageError(f"file already exists: {name!r}")
-        dfs_file = DFSFile(name, schema, list(rows), self.block_size_bytes)
+        dfs_file = DFSFile(name, schema, list(rows), self.block_size_bytes,
+                           row_sizes=row_sizes)
+        if row_sizes is not None and dfs_file.row_sizes is row_sizes:
+            dfs_file._sizes_exact = True if sizes_exact is None else sizes_exact
         self._files[name] = dfs_file
         with self._accounting_lock:
             self.bytes_written += dfs_file.size_bytes
@@ -174,6 +280,13 @@ class DistributedFileSystem:
         with self._accounting_lock:
             self.bytes_read += split.size_bytes
         return rows
+
+    def read_split_batch(self, split: Split) -> SplitBatch:
+        """Columnar read of one split; charges bytes like :meth:`read_split`."""
+        batch = self.open(split.file_name).split_batch(split)
+        with self._accounting_lock:
+            self.bytes_read += split.size_bytes
+        return batch
 
     def read_all(self, name: str) -> list[Row]:
         dfs_file = self.open(name)

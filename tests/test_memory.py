@@ -12,6 +12,7 @@ admission backpressure.
 """
 
 import json
+import threading
 
 import pytest
 
@@ -377,8 +378,24 @@ class TestServiceBackpressure:
             assert canonical(left.rows) == canonical(right.rows)
 
     def test_waits_are_traced_as_admission_spans(self, tpch_tables):
+        # Occupy most of the pool up front so the first query *must*
+        # block -- forcing contention deterministically instead of hoping
+        # the worker threads overlap (a fast engine can finish one query
+        # before the next thread even reaches admission).
         sink = MemorySink()
-        self.run_batch(tpch_tables, 3, 100 * 1024, 60 * 1024, sink=sink)
+        config = DEFAULT_CONFIG.with_memory(cluster_memory_bytes=100 * 1024)
+        service = QueryService(tpch_tables, config=config, workers=3,
+                               tracer=Tracer(sink))
+        gate = service._memory_gate
+        held = 60 * 1024
+        assert gate.try_acquire(held)
+        releaser = threading.Timer(0.05, gate.release, args=(held,))
+        releaser.start()
+        try:
+            outcomes = service.run_batch(self.requests(60 * 1024))
+        finally:
+            releaser.join()
+        assert [outcome.error for outcome in outcomes] == [None] * 3
         waits = [record for record in sink.records
                  if record["kind"] == "span_end"
                  and record["name"] == "admission_wait"]

@@ -20,14 +20,19 @@ from repro.workloads.queries import TPCH_WORKLOADS
 from tests.conftest import assert_same_rows
 from tests.oracle import oracle_tables, run_workload
 
-#: (label, mode, strategy, parallel) for every engine execution path.
+#: (label, mode, strategy, parallel, columnar) for every engine path;
+#: the columnar legs run the same queries over the batch data path.
 ENGINE_PATHS = [
-    ("dynopt-unc1", "dynopt", "UNC-1", False),
-    ("dynopt-cheap1", "dynopt", "CHEAP-1", False),
-    ("dynopt-all-at-once", "dynopt", "ALL", False),
-    ("simple-so", "simple", "SIMPLE_SO", False),
-    ("simple-mo", "simple", "SIMPLE_MO", False),
-    ("dynopt-parallel", "dynopt", "UNC-1", True),
+    ("dynopt-unc1", "dynopt", "UNC-1", False, False),
+    ("dynopt-cheap1", "dynopt", "CHEAP-1", False, False),
+    ("dynopt-all-at-once", "dynopt", "ALL", False, False),
+    ("simple-so", "simple", "SIMPLE_SO", False, False),
+    ("simple-mo", "simple", "SIMPLE_MO", False, False),
+    ("dynopt-parallel", "dynopt", "UNC-1", True, False),
+    ("dynopt-columnar", "dynopt", "UNC-1", False, True),
+    ("dynopt-columnar-cheap1", "dynopt", "CHEAP-1", False, True),
+    ("simple-so-columnar", "simple", "SIMPLE_SO", False, True),
+    ("dynopt-columnar-parallel", "dynopt", "UNC-1", True, True),
 ]
 
 
@@ -57,15 +62,19 @@ def reference_cache():
     return {}
 
 
-@pytest.mark.parametrize("label,mode,strategy,parallel", ENGINE_PATHS,
+@pytest.mark.parametrize("label,mode,strategy,parallel,columnar",
+                         ENGINE_PATHS,
                          ids=[path[0] for path in ENGINE_PATHS])
 @pytest.mark.parametrize("query", sorted(TPCH_WORKLOADS))
 def test_engine_matches_interpreter(tables, reference_cache, query,
-                                    label, mode, strategy, parallel):
+                                    label, mode, strategy, parallel,
+                                    columnar):
     if query not in reference_cache:
         reference_cache[query] = interpreter_reference(
             tables, TPCH_WORKLOADS[query]())
     config = DEFAULT_CONFIG
+    if columnar:
+        config = config.with_columnar()
     if parallel:
         config = config.with_parallel_execution()
     _, execution = run_workload(tables, query, strategy,
