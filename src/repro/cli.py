@@ -25,6 +25,7 @@ from repro.data.tpch import PAPER_SCALE_FACTORS, generate_tpch
 from repro.errors import DynoError
 from repro.obs import JsonLinesSink, MetricsRegistry, Tracer
 from repro.workloads.queries import TPCH_WORKLOADS, q3
+from repro.workloads.skewed import SKEWED_WORKLOADS, generate_skewed
 
 
 def _positive_float(text: str) -> float:
@@ -69,8 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument(
-        "--workload", choices=sorted(TPCH_WORKLOADS) + ["Q3"],
-        help="one of the paper's TPC-H workloads",
+        "--workload",
+        choices=sorted(TPCH_WORKLOADS) + ["Q3"] + sorted(SKEWED_WORKLOADS),
+        help="one of the paper's TPC-H workloads, or a skewed hot-key "
+             "workload (implies --skew)",
     )
     source.add_argument("--sql", help="ad-hoc SQL text to execute")
     source.add_argument("--sql-file", help="file containing SQL text")
@@ -84,6 +87,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--service-workers", type=int, default=4, metavar="N",
         help="driver threads for --batch (default 4; results are "
              "identical at any worker count)",
+    )
+
+    parser.add_argument(
+        "--skew", action="store_true",
+        help="generate the seeded hot-key dataset (Zipfian clicks x "
+             "oversized users x pages) instead of TPC-H; default scale "
+             "factor becomes 1.0 so the skew join is in play",
     )
 
     scale = parser.add_mutually_exclusive_group()
@@ -145,17 +155,22 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _scale_factor(args: argparse.Namespace) -> float:
+def _scale_factor(args: argparse.Namespace, default: float = 0.25) -> float:
     if args.paper_sf is not None:
         return PAPER_SCALE_FACTORS[args.paper_sf]
     if args.scale_factor is not None:
         return args.scale_factor
-    return 0.25
+    return default
 
 
 def _resolve_workload(args: argparse.Namespace):
     if args.workload:
-        factory = q3 if args.workload == "Q3" else TPCH_WORKLOADS[args.workload]
+        if args.workload in SKEWED_WORKLOADS:
+            factory = SKEWED_WORKLOADS[args.workload]
+        elif args.workload == "Q3":
+            factory = q3
+        else:
+            factory = TPCH_WORKLOADS[args.workload]
         return factory()
     return None
 
@@ -246,9 +261,17 @@ def main(argv: list[str] | None = None,
     if args.batch:
         return _run_service(args, out)
 
-    scale_factor = _scale_factor(args)
-    print(f"generating TPC-H at scale factor {scale_factor} ...", file=out)
-    dataset = generate_tpch(scale_factor, seed=args.seed)
+    skewed = args.skew or args.workload in SKEWED_WORKLOADS
+    if skewed:
+        scale_factor = _scale_factor(args, default=1.0)
+        print(f"generating skewed hot-key dataset at scale factor "
+              f"{scale_factor} ...", file=out)
+        tables = generate_skewed(scale_factor, seed=args.seed)
+    else:
+        scale_factor = _scale_factor(args)
+        print(f"generating TPC-H at scale factor {scale_factor} ...",
+              file=out)
+        tables = generate_tpch(scale_factor, seed=args.seed).tables
 
     workload = _resolve_workload(args)
     config = _apply_memory(DEFAULT_CONFIG.with_backend(args.backend), args)
@@ -270,7 +293,7 @@ def main(argv: list[str] | None = None,
 
     tracer = Tracer(JsonLinesSink(args.trace)) if args.trace else None
     metrics = MetricsRegistry() if (args.metrics or args.profile) else None
-    dyno = Dyno(dataset.tables, config=config,
+    dyno = Dyno(tables, config=config,
                 udfs=workload.udfs if workload else None,
                 tracer=tracer, metrics=metrics)
 

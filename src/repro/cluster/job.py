@@ -192,10 +192,20 @@ class MapReduceJob:
     #: mandatory -- they stay the semantic definition and the fallback).
     batch_mapper: BatchMapper | None = None
     batch_reducer: BatchReducer | None = None
+    #: skew joins: mappers of this map+reduce job may emit records with
+    #: ``key=None``, which bypass the shuffle and land directly in the
+    #: job's output (the heavy-key side channel). Off for normal jobs so
+    #: the shuffle hot loop stays branch-free.
+    map_side_output: bool = False
 
     def __post_init__(self) -> None:
         if not self.inputs:
             raise JobError(f"job {self.name!r} has no inputs")
+        if self.map_side_output and self.reducer is None:
+            raise JobError(
+                f"job {self.name!r} is map-only; map_side_output is "
+                f"meaningful only for map+reduce jobs"
+            )
         if self.batch_reducer is not None and self.reducer is None:
             raise JobError(
                 f"job {self.name!r} has a batch reducer but no reducer"

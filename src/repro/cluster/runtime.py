@@ -588,6 +588,8 @@ class ClusterRuntime:
                 break
             splits_processed += 1
             context = TaskContext()
+            direct_bytes = 0
+            direct_records = 0
             if batch_mapper is not None:
                 # Columnar path: the mapper consumes the whole split as a
                 # column batch and returns rows + pre-computed sizes; every
@@ -611,6 +613,14 @@ class ClusterRuntime:
                             collector.observe_batch(task_rows, task_sizes)
                         collector.publish()
                         stat_tasks.append(collector)
+                elif job.map_side_output:
+                    emitted_bytes, direct_bytes, direct_records = \
+                        self._route_map_side_output(
+                            job, split,
+                            zip(emit.keys, emit.rows, emit.sizes),  # type: ignore[arg-type]
+                            map_outputs, output_rows, output_sizes,
+                            stat_tasks,
+                        )
                 else:
                     emitted_bytes = 8 * emitted_records + sum(emit.sizes)
                     map_outputs.extend(
@@ -635,6 +645,15 @@ class ClusterRuntime:
                         collector.observe_batch(task_rows, task_sizes)
                         collector.publish()
                         stat_tasks.append(collector)
+                elif job.map_side_output:
+                    emitted_bytes, direct_bytes, direct_records = \
+                        self._route_map_side_output(
+                            job, split,
+                            ((key, value, estimate_value_size(value))
+                             for key, value in emitted),
+                            map_outputs, output_rows, output_sizes,
+                            stat_tasks,
+                        )
                 else:
                     emitted_bytes = 0
                     for key, value in emitted:
@@ -650,8 +669,10 @@ class ClusterRuntime:
                                emitted_records)
             counters.increment("map", Counters.MAP_OUTPUT_BYTES, emitted_bytes)
             stats_cpu = 0.0
-            if job.stats_columns and job.is_map_only:
-                stats_cpu = (emitted_records
+            if job.stats_columns:
+                stat_records = (emitted_records if job.is_map_only
+                                else direct_records)
+                stats_cpu = (stat_records
                              * self.config.cluster.stats_seconds_per_record)
             work = TaskWork(
                 input_bytes=split.size_bytes,
@@ -664,6 +685,11 @@ class ClusterRuntime:
                 work, writes_to_dfs=job.is_map_only,
                 build_seconds=build_seconds,
             )
+            if direct_bytes:
+                # Heavy-key results bypass the shuffle and are written to
+                # the DFS by the map task itself.
+                task_seconds += (direct_bytes
+                                 / self.config.cluster.write_bytes_per_second)
             if build.spill_fraction:
                 # Hybrid hash join: the probe rows hashing to spilled
                 # partitions are staged to disk and joined in a second
@@ -677,10 +703,18 @@ class ClusterRuntime:
         if not job.is_map_only:
             if attempt is not None:
                 attempt.boundary("reduce")
-            output_rows, output_sizes = self._run_reduce_phase(
+            reduce_rows, reduce_sizes = self._run_reduce_phase(
                 job, map_outputs, counters, reduce_task_seconds,
                 stat_tasks, attempts,
             )
+            if output_rows:
+                # Skew joins write heavy-key results map-side; the tail's
+                # reduce output is appended after them, in a deterministic
+                # (split order, then partition order) layout.
+                output_rows.extend(reduce_rows)
+                output_sizes.extend(reduce_sizes)
+            else:
+                output_rows, output_sizes = reduce_rows, reduce_sizes
 
         if attempt is not None:
             # Fired at the end of the (worker-side) data pass, modeling a
@@ -906,6 +940,47 @@ class ClusterRuntime:
                 attempts(self.cost_model.reduce_task_seconds(work))
             )
         return output_rows, output_sizes
+
+    def _route_map_side_output(
+        self,
+        job: MapReduceJob,
+        split: Split,
+        entries,
+        map_outputs: list[tuple[object, Row, int]],
+        output_rows: list[Row],
+        output_sizes: list[int],
+        stat_tasks: list[TaskStatsCollector],
+    ) -> tuple[int, int, int]:
+        """Split a skew-join map task's emission between output and shuffle.
+
+        Records emitted with ``key=None`` carry heavy-key join results
+        produced map-side; they bypass the shuffle entirely and land in
+        the job's output (charged at the DFS write rate by the caller).
+        Keyed records are the long tail and shuffle as usual. Returns
+        ``(emitted_bytes, direct_bytes, direct_records)``.
+        """
+        emitted_bytes = 0
+        direct_bytes = 0
+        direct_rows: list[Row] = []
+        direct_sizes: list[int] = []
+        for key, value, size in entries:
+            if key is None:
+                direct_rows.append(value)
+                direct_sizes.append(size)
+                direct_bytes += size
+            else:
+                emitted_bytes += 8 + size
+                map_outputs.append((key, value, size))
+        emitted_bytes += direct_bytes
+        if direct_rows:
+            output_rows.extend(direct_rows)
+            output_sizes.extend(direct_sizes)
+            if job.stats_columns:
+                collector = self._make_collector(job, f"map-{split.index}")
+                collector.observe_batch(direct_rows, direct_sizes)
+                collector.publish()
+                stat_tasks.append(collector)
+        return emitted_bytes, direct_bytes, len(direct_rows)
 
     def _make_collector(self, job: MapReduceJob,
                         task_id: str) -> TaskStatsCollector:

@@ -171,6 +171,22 @@ class OptimizerConfig:
     #: applicable. Matches the runtime's degrade-in-place margin
     #: (:attr:`ClusterConfig.spill_overflow_factor`).
     spill_margin_factor: float = 4.0
+    #: consider the skew-aware join (heavy keys broadcast map-side, tail
+    #: repartitioned). It can only ever beat a repartition join -- a plain
+    #: broadcast always costs less where it applies -- so disabling it
+    #: exactly restores the pre-skew plan space.
+    enable_skew_rule: bool = True
+    #: a join-key value is a heavy hitter when its sampled frequency is at
+    #: least this fraction of the probe side. 0.1 sits well above every
+    #: TPC-H foreign-key frequency at our test scales (those are uniform)
+    #: while catching any genuinely hot key.
+    skew_key_fraction: float = 0.1
+    #: minimum combined probe fraction of the selected heavy keys for the
+    #: skew join to be worth a broadcast side channel at all.
+    skew_min_probe_fraction: float = 0.2
+    #: at most this many heavy keys ride the side channel (also bounded by
+    #: the statistics layer's HEAVY_HITTER_K).
+    skew_max_keys: int = 8
     #: abandon plans whose cost exceeds the best found so far (B&B pruning).
     enable_pruning: bool = True
     #: apply the broadcast-chain rule (Section 5.2). Disabling it makes
@@ -251,6 +267,13 @@ class DynoConfig:
     #: threshold on |observed - estimated| / estimated cardinality beyond
     #: which re-optimization triggers when the every-job policy is off.
     reoptimization_threshold: float = 0.5
+    #: mid-job re-optimization trigger: after any job of a batch lands, a
+    #: q-error (max of rows/bytes, >= 1.0) at or above this threshold
+    #: aborts the rest of the compiled graph and re-optimizes immediately
+    #: with the fresh statistics -- without waiting for the per-iteration
+    #: policy above. ``inf`` (the default) disables the trigger and
+    #: reproduces the pre-trigger execution exactly.
+    midjob_qerror_threshold: float = float("inf")
     #: armed fault schedule, or None (the default: no fault machinery on
     #: the hot path at all). See :class:`repro.cluster.faults.FaultPlan`.
     fault_plan: "FaultPlan | None" = None
@@ -326,6 +349,17 @@ class DynoConfig:
                     f"unknown columnar backend: {backend!r}")
             config = replace(config, columnar_backend=backend)
         return config
+
+    def with_midjob_trigger(self, qerror_threshold: float) -> "DynoConfig":
+        """Config with the mid-job re-optimization trigger armed.
+
+        ``qerror_threshold`` is a q-error (>= 1.0); ``float("inf")``
+        disarms the trigger (the default behaviour).
+        """
+        if qerror_threshold < 1.0:
+            raise ValueError("midjob q-error threshold must be >= 1.0 "
+                             "(1.0 means a perfect estimate)")
+        return replace(self, midjob_qerror_threshold=qerror_threshold)
 
     def with_fault_plan(self, plan: "FaultPlan | None") -> "DynoConfig":
         """Config with a fault schedule armed (or disarmed with None)."""

@@ -107,6 +107,10 @@ class BlockExecutionResult:
     lost_outputs: list[str] = field(default_factory=list)
     #: permanent job failures the executor replanned around.
     replanned_failures: list[str] = field(default_factory=list)
+    #: mid-job replan triggers that fired: the estimate audit's q-error
+    #: crossed ``DynoConfig.midjob_qerror_threshold`` while jobs of the
+    #: current graph were still pending, forcing a re-optimization.
+    midjob_replans: list[str] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -298,6 +302,8 @@ class DynoptExecutor:
                 iteration += 1
 
                 surprised = False
+                qerror_threshold = self.config.midjob_qerror_threshold
+                triggered: list[tuple[str, float]] = []
                 for compiled in chosen:
                     job_result = batch[compiled.name]
                     recovery.provenance[compiled.job.output_name] = \
@@ -309,11 +315,38 @@ class DynoptExecutor:
                                          iteration - 1, missed)
                     if missed:
                         surprised = True
+                    if qerror_threshold != float("inf"):
+                        worst = max(
+                            q_error(compiled.estimated_rows,
+                                    job_result.output_rows),
+                            q_error(compiled.estimated_bytes,
+                                    job_result.output_bytes),
+                        )
+                        if worst >= qerror_threshold:
+                            triggered.append((compiled.name, worst))
                 # A node loss may eat any freshly materialized output;
                 # recovery happens lazily, when something needs it again.
                 self._inject_node_losses([c.job for c in chosen], result)
                 if len(completed) == graph.job_count:
                     break
+                if triggered:
+                    # Mid-job replan: the audit's q-error crossed the
+                    # configured threshold with jobs still pending --
+                    # abandon the rest of this graph and re-optimize with
+                    # the fresh statistics (the block substitutions above
+                    # checkpoint everything already executed).
+                    for job_name, worst in triggered:
+                        result.midjob_replans.append(job_name)
+                        if self.tracer.enabled:
+                            self.tracer.event(
+                                "midjob_replan",
+                                job=job_name,
+                                q_error=round(worst, 6),
+                                threshold=qerror_threshold,
+                            )
+                        if self.metrics.enabled:
+                            self.metrics.inc("dynopt.midjob_replans")
+                    break  # back to the optimizer with fresh statistics
                 if self.config.reoptimize_every_job or surprised:
                     break  # back to the optimizer with fresh statistics
 

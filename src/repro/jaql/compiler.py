@@ -43,6 +43,7 @@ from repro.jaql.vector import ColumnResolver, select, supports_vector
 from repro.optimizer.plans import (
     HASH_BUILD_METHODS,
     HYBRID,
+    SKEW,
     PhysJoin,
     PhysLeaf,
     PhysicalNode,
@@ -153,6 +154,65 @@ class _Stream:
 
 def _identity_transform(context: TaskContext, row: Row) -> Iterable[Row]:
     return (row,)
+
+
+def _make_join_reducer(predicates: tuple[Predicate, ...], pred_cpu: float):
+    """Reduce-side join of tagged records (shared by repartition and the
+    tail of skew joins): separate the sides per key, emit the cartesian
+    product filtered by the join's non-local predicates."""
+
+    def reducer(context: TaskContext, key: object,
+                values: list[Row]) -> None:
+        left_rows = [value["r"] for value in values if value["s"] == 0]
+        right_rows = [value["r"] for value in values if value["s"] == 1]
+        for left_row in left_rows:
+            for right_row in right_rows:
+                merged = {**left_row, **right_row}
+                if pred_cpu:
+                    context.charge_cpu(pred_cpu)
+                if all(p.evaluate(merged) for p in predicates):
+                    context.emit(None, merged)
+
+    return reducer
+
+
+def _make_join_batch_reducer(predicates: tuple[Predicate, ...],
+                             pred_cpu: float):
+    """Columnar counterpart of :func:`_make_join_reducer`; payload sizes
+    are recovered from the tagged record sizes (16-byte tag framing)."""
+
+    def batch_reducer(context: TaskContext, groups) -> BatchEmit:
+        out_rows: list[Row] = []
+        out_sizes: list[int] = []
+        append_row = out_rows.append
+        append_size = out_sizes.append
+        candidates = 0
+        for _key, values, value_sizes in groups:
+            left_rows = []
+            right_rows = []
+            for value, size in zip(values, value_sizes):
+                # Recover the payload size from the tagged record
+                # size instead of re-walking the row dict.
+                if value["s"] == 0:
+                    left_rows.append((value["r"], size - 16))
+                else:
+                    right_rows.append((value["r"], size - 16))
+            for left_row, left_size in left_rows:
+                left_len = len(left_row)
+                for right_row, right_size in right_rows:
+                    merged = {**left_row, **right_row}
+                    candidates += 1
+                    if all(p.evaluate(merged) for p in predicates):
+                        append_row(merged)
+                        if len(merged) == left_len + len(right_row):
+                            append_size(left_size + right_size - 2)
+                        else:
+                            append_size(estimate_value_size(merged))
+        if pred_cpu and candidates:
+            context.charge_cpu(pred_cpu * candidates)
+        return BatchEmit(rows=out_rows, sizes=out_sizes)
+
+    return batch_reducer
 
 
 def _identity_batch_transform(context: TaskContext, batch: object) -> object:
@@ -292,6 +352,11 @@ class PlanCompiler:
             return self._leaf_stream(node)
         if not isinstance(node, PhysJoin):
             raise PlanError(f"cannot compile {type(node).__name__}")
+        if node.method == SKEW:
+            # Before the hash-build dispatch: the skew join loads a build
+            # side too (the heavy-key slice) but compiles to a map+reduce
+            # job with a shuffle for the tail, not a map-only pipeline.
+            return self._skew_stream(node, jobs)
         if node.method in HASH_BUILD_METHODS:
             # Hybrid hash joins compile exactly like broadcast joins -- the
             # build side is loaded per task -- but the build is marked
@@ -657,17 +722,7 @@ class PlanCompiler:
                             continue
                         emit(key, {"s": side_index, "r": out})
 
-        def reducer(context: TaskContext, key: object,
-                    values: list[Row]) -> None:
-            left_rows = [value["r"] for value in values if value["s"] == 0]
-            right_rows = [value["r"] for value in values if value["s"] == 1]
-            for left_row in left_rows:
-                for right_row in right_rows:
-                    merged = {**left_row, **right_row}
-                    if pred_cpu:
-                        context.charge_cpu(pred_cpu)
-                    if all(p.evaluate(merged) for p in predicates):
-                        context.emit(None, merged)
+        reducer = _make_join_reducer(predicates, pred_cpu)
 
         batch_mapper = None
         batch_reducer = None
@@ -718,38 +773,7 @@ class PlanCompiler:
                 return BatchEmit(rows=out_rows, sizes=out_sizes,
                                  keys=out_keys)
 
-            def batch_reducer(context: TaskContext,
-                              groups) -> BatchEmit:
-                out_rows: list[Row] = []
-                out_sizes: list[int] = []
-                append_row = out_rows.append
-                append_size = out_sizes.append
-                candidates = 0
-                for _key, values, value_sizes in groups:
-                    left_rows = []
-                    right_rows = []
-                    for value, size in zip(values, value_sizes):
-                        # Recover the payload size from the tagged record
-                        # size instead of re-walking the row dict.
-                        if value["s"] == 0:
-                            left_rows.append((value["r"], size - 16))
-                        else:
-                            right_rows.append((value["r"], size - 16))
-                    for left_row, left_size in left_rows:
-                        left_len = len(left_row)
-                        for right_row, right_size in right_rows:
-                            merged = {**left_row, **right_row}
-                            candidates += 1
-                            if all(p.evaluate(merged) for p in predicates):
-                                append_row(merged)
-                                if len(merged) == left_len + len(right_row):
-                                    append_size(
-                                        left_size + right_size - 2)
-                                else:
-                                    append_size(estimate_value_size(merged))
-                if pred_cpu and candidates:
-                    context.charge_cpu(pred_cpu * candidates)
-                return BatchEmit(rows=out_rows, sizes=out_sizes)
+            batch_reducer = _make_join_batch_reducer(predicates, pred_cpu)
 
         name = self._next_name("rjoin")
         output = f"{name}.out"
@@ -772,6 +796,327 @@ class PlanCompiler:
             ),
             batch_mapper=batch_mapper,
             batch_reducer=batch_reducer,
+        )
+        depends = _dedupe(
+            [up.name for up in left.upstream + right.upstream]
+        )
+        upstream_cost = left.upstream_cost + right.upstream_cost
+        compiled = CompiledJob(
+            job=job,
+            depends_on=depends,
+            output_aliases=node.aliases,
+            applied_predicates=(left.applied_predicates
+                                + right.applied_predicates + predicates),
+            join_count=left.join_count + right.join_count + 1,
+            estimated_cost=max(node.cost - upstream_cost, 0.0),
+            estimated_rows=node.est_rows,
+            estimated_bytes=node.est_bytes,
+        )
+        jobs.append(compiled)
+        return _Stream(
+            input_files=[output],
+            transform=_identity_transform,
+            upstream=[compiled],
+            aliases=node.aliases,
+            upstream_cost=node.cost,
+            node=node,
+        )
+
+    def _skew_build_side(self, node: PhysJoin, right: _Stream,
+                         jobs: list[CompiledJob], build_refs,
+                         ) -> tuple[BroadcastBuild, _Stream]:
+        """Heavy-key build slice of a skew join.
+
+        The heavy rows are filtered out of a full scan of the build input
+        -- a base leaf's raw file, an already-materialized intermediate,
+        or the build pipeline materialized once and shared with the
+        shuffle side -- so the in-map hash table holds only the heavy-key
+        slice while the job's tail shuffle re-reads the same file.
+        """
+        heavy_set = frozenset(node.heavy_keys)
+        declared = int(node.heavy_build_fraction * node.right.est_bytes)
+        right_node = node.right
+        if isinstance(right_node, PhysLeaf) and right_node.leaf.is_base:
+            leaf = right_node.leaf
+
+            def leaf_loader(raw_rows: list[Row],
+                            _leaf: BlockLeaf = leaf) -> list[Row]:
+                loaded = []
+                for row in raw_rows:
+                    qualified = _leaf.qualify_and_filter(row)
+                    if qualified is None:
+                        continue
+                    key = tuple(ref.evaluate(qualified)
+                                for ref in build_refs)
+                    if key in heavy_set:
+                        loaded.append(qualified)
+                return loaded
+
+            return BroadcastBuild(
+                input_file=self._file_of_leaf(leaf),
+                loader=leaf_loader,
+                description=f"{leaf.describe()} (heavy keys)",
+                declared_bytes=declared,
+            ), right
+
+        if (right.builds or right.transform is not _identity_transform
+                or len(right.input_files) != 1):
+            # Build pipeline: materialize it once; the same file feeds
+            # both the tail shuffle and the heavy-key build.
+            materialized = self._materialize(right, jobs)
+            right = _Stream(
+                input_files=[materialized.job.output_name],
+                transform=_identity_transform,
+                upstream=[materialized],
+                aliases=right.aliases,
+                upstream_cost=(right.node.cost
+                               if right.node is not None else 0.0),
+                node=right.node,
+                batch_transform=(_identity_batch_transform
+                                 if self._columnar else None),
+            )
+        build_file = right.input_files[0]
+
+        def loader(raw_rows: list[Row]) -> list[Row]:
+            return [row for row in raw_rows
+                    if tuple(ref.evaluate(row)
+                             for ref in build_refs) in heavy_set]
+
+        return BroadcastBuild(
+            input_file=build_file,
+            loader=loader,
+            description=f"heavy keys of {build_file}",
+            declared_bytes=declared,
+        ), right
+
+    def _skew_stream(self, node: PhysJoin,
+                     jobs: list[CompiledJob]) -> _Stream:
+        """Skew join: one map+reduce job with a heavy-key side channel.
+
+        Map tasks hash-load only the build rows of the plan's heavy keys
+        (:attr:`PhysJoin.heavy_keys`). Probe rows carrying a heavy key
+        are joined in place and emitted with ``key=None`` -- the runtime
+        routes them straight to the job's output, bypassing the shuffle
+        -- while the long tail of both sides shuffles and reduces exactly
+        like a repartition join. Build rows of heavy keys are dropped
+        from the shuffle (they already live in the broadcast build), so
+        no pair is joined twice.
+        """
+        left = self._compile_node(node.left, jobs)
+        right = self._compile_node(node.right, jobs)
+        probe_refs = [
+            condition.side_for(node.left.aliases)
+            for condition in node.conditions
+        ]
+        build_refs = [
+            condition.side_for(node.right.aliases)
+            for condition in node.conditions
+        ]
+        heavy_build, right = self._skew_build_side(
+            node, right, jobs, build_refs,
+        )
+        sides = (left, right)
+        side_refs = [probe_refs, build_refs]
+        predicates = node.applied_predicates
+        pred_cpu = sum(p.cpu_seconds_per_row for p in predicates)
+        probe_cpu = self.config.cluster.probe_seconds_per_record
+        heavy_set = frozenset(node.heavy_keys)
+        hash_holder: dict[str, object] = {}
+
+        def heavy_table() -> dict:
+            table = hash_holder.get("table")
+            if table is None or \
+                    hash_holder.get("source") is not heavy_build.rows:
+                table = {}
+                for build_row in heavy_build.built_rows():
+                    key = tuple(ref.evaluate(build_row)
+                                for ref in build_refs)
+                    if None in key:
+                        continue
+                    table.setdefault(key, []).append(build_row)
+                hash_holder["table"] = table
+                hash_holder["source"] = heavy_build.rows
+            return table
+
+        def mapper(context: TaskContext, source: str,
+                   rows: list[Row]) -> None:
+            for side_index, side in enumerate(sides):
+                if source not in side.input_files:
+                    continue
+                refs = side_refs[side_index]
+                transform = side.transform
+                emit = context.emit
+                charge_cpu = context.charge_cpu
+                if side_index == 0:
+                    table_get = heavy_table().get
+                    for row in rows:
+                        for out in transform(context, row):
+                            key = tuple(ref.evaluate(out) for ref in refs)
+                            if None in key:
+                                continue
+                            if key in heavy_set:
+                                charge_cpu(probe_cpu)
+                                bucket = table_get(key)
+                                if bucket is None:
+                                    continue
+                                for build_row in bucket:
+                                    merged = {**out, **build_row}
+                                    if pred_cpu:
+                                        charge_cpu(pred_cpu)
+                                    if not predicates or all(
+                                            p.evaluate(merged)
+                                            for p in predicates):
+                                        emit(None, merged)
+                            else:
+                                emit(key, {"s": 0, "r": out})
+                else:
+                    for row in rows:
+                        for out in transform(context, row):
+                            key = tuple(ref.evaluate(out) for ref in refs)
+                            if None in key:
+                                continue
+                            if key in heavy_set:
+                                continue  # lives in the heavy build
+                            emit(key, {"s": 1, "r": out})
+
+        reducer = _make_join_reducer(predicates, pred_cpu)
+
+        batch_mapper = None
+        batch_reducer = None
+        if self._columnar and all(
+                side.batch_transform is not None for side in sides):
+            batch_sides = tuple(side.batch_transform for side in sides)
+            side_files = tuple(frozenset(side.input_files) for side in sides)
+            batch_holder: dict[str, object] = {}
+
+            def heavy_batch_table() -> dict:
+                table = batch_holder.get("table")
+                if table is None or \
+                        batch_holder.get("source") is not heavy_build.rows:
+                    table = {}
+                    for build_row in heavy_build.built_rows():
+                        key = tuple(ref.evaluate(build_row)
+                                    for ref in build_refs)
+                        if None in key:
+                            continue
+                        table.setdefault(key, []).append(
+                            (build_row, estimate_dict_size(build_row),
+                             len(build_row))
+                        )
+                    batch_holder["table"] = table
+                    batch_holder["source"] = heavy_build.rows
+                return table
+
+            def batch_mapper(context: TaskContext, source: str,
+                             batch) -> BatchEmit:
+                # Same record stream as the row mapper: heavy probe rows
+                # become merged outputs keyed None (direct output), the
+                # tail becomes 16-byte-framed tagged shuffle records.
+                out_keys: list = []
+                out_rows: list[Row] = []
+                out_sizes: list[int] = []
+                for side_index in (0, 1):
+                    if source not in side_files[side_index]:
+                        continue
+                    out = batch_sides[side_index](context, batch)
+                    rows = out.rows
+                    if not rows:
+                        continue
+                    sizes = out.ensure_sizes()
+                    resolver = ColumnResolver(out)
+                    refs = side_refs[side_index]
+                    if len(refs) == 1:
+                        column = resolver.values(refs[0])
+                        keys = [
+                            None if (value := column[i]) is None
+                            else (value,)
+                            for i in range(len(rows))
+                        ]
+                    else:
+                        key_columns = [resolver.values(ref) for ref in refs]
+                        keys = [
+                            None if None in
+                            (key := tuple(column[i]
+                                          for column in key_columns))
+                            else key
+                            for i in range(len(rows))
+                        ]
+                    append_key = out_keys.append
+                    append_row = out_rows.append
+                    append_size = out_sizes.append
+                    if side_index == 0:
+                        table_get = heavy_batch_table().get
+                        heavy_count = 0
+                        candidates = 0
+                        for i, key in enumerate(keys):
+                            if key is None:
+                                continue
+                            if key in heavy_set:
+                                heavy_count += 1
+                                bucket = table_get(key)
+                                if bucket is None:
+                                    continue
+                                probe_row = rows[i]
+                                probe_size = sizes[i]
+                                probe_len = len(probe_row)
+                                for build_row, build_size, build_len \
+                                        in bucket:
+                                    merged = {**probe_row, **build_row}
+                                    candidates += 1
+                                    if not predicates or all(
+                                            p.evaluate(merged)
+                                            for p in predicates):
+                                        append_key(None)
+                                        append_row(merged)
+                                        if len(merged) == \
+                                                probe_len + build_len:
+                                            append_size(
+                                                probe_size + build_size - 2)
+                                        else:
+                                            append_size(
+                                                estimate_value_size(merged))
+                            else:
+                                append_key(key)
+                                append_row({"s": 0, "r": rows[i]})
+                                append_size(16 + sizes[i])
+                        if probe_cpu and heavy_count:
+                            context.charge_cpu(probe_cpu * heavy_count)
+                        if pred_cpu and candidates:
+                            context.charge_cpu(pred_cpu * candidates)
+                    else:
+                        for i, key in enumerate(keys):
+                            if key is None or key in heavy_set:
+                                continue
+                            append_key(key)
+                            append_row({"s": 1, "r": rows[i]})
+                            append_size(16 + sizes[i])
+                return BatchEmit(rows=out_rows, sizes=out_sizes,
+                                 keys=out_keys)
+
+            batch_reducer = _make_join_batch_reducer(predicates, pred_cpu)
+
+        name = self._next_name("sjoin")
+        output = f"{name}.out"
+        inputs = sorted(set(left.input_files) | set(right.input_files))
+        estimated_input_bytes = (
+            node.left.est_bytes + node.right.est_bytes
+        )
+        builds = left.builds + right.builds + [heavy_build]
+        job = MapReduceJob(
+            name=name,
+            inputs=inputs,
+            mapper=mapper,
+            reducer=reducer,
+            num_reducers=self._reducers_for(inputs, estimated_input_bytes),
+            output_name=output,
+            output_schema=_intermediate_schema(),
+            broadcast_builds=builds,
+            description=(f"skew join over {sorted(node.aliases)}"
+                         f" ({len(node.heavy_keys)} heavy keys)"),
+            memory_demand_bytes=self._memory_demand(builds),
+            batch_mapper=batch_mapper,
+            batch_reducer=batch_reducer,
+            map_side_output=True,
         )
         depends = _dedupe(
             [up.name for up in left.upstream + right.upstream]

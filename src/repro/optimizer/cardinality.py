@@ -73,6 +73,12 @@ class CardinalityModel:
                 self._stats_by_alias[alias] = stats
                 self._leaf_by_alias[alias] = leaf
         self._cache: dict[frozenset[str], GroupEstimate] = {}
+        #: heavy-hitter / key-DV lookups keyed by the refs' qualified
+        #: names -- the memo search derives the same join sides many
+        #: times, and the underlying statistics never change mid-search.
+        self._heavy_cache: dict[tuple[str, ...],
+                                tuple[tuple[tuple, float], ...]] = {}
+        self._key_dv_cache: dict[tuple[str, ...], float] = {}
 
     # -- leaf-level --------------------------------------------------------------
 
@@ -84,6 +90,109 @@ class CardinalityModel:
         if stats is None:
             raise StatisticsError(f"no statistics for alias {ref.alias!r}")
         return stats.distinct_values(ref.qualified)
+
+    def heavy_columns(self, threshold: float) -> frozenset[str]:
+        """Qualified column names whose profile reaches ``threshold``.
+
+        One pass over the (few) leaf statistics at optimizer construction;
+        lets the search skip all per-context heavy-hitter work for probe
+        keys that cannot possibly clear the skew gate -- which is every
+        fact-table join key of every TPC-H block at our scales.
+        """
+        result = set()
+        seen: set[int] = set()
+        for stats in self._stats_by_alias.values():
+            if id(stats) in seen:
+                continue
+            seen.add(id(stats))
+            for name, column in stats.columns.items():
+                if any(fraction >= threshold
+                       for _, fraction in column.heavy_hitters):
+                    result.add(name)
+        return frozenset(result)
+
+    def heavy_hitters(
+        self, refs: list[ColumnRef]
+    ) -> tuple[tuple[tuple, float], ...]:
+        """Heavy join-key values of one join side, as ``(key, fraction)``.
+
+        ``refs`` is the side's key in join-condition order; keys come back
+        as value tuples in that same order (what the compiler's mappers
+        evaluate per row). Multi-column keys need measured composite
+        statistics -- their values are stored ordered by sorted column
+        name and are permuted back here. Keys containing NULL never join
+        and are dropped. Returns () when the side spans several leaves
+        per-column or no frequency profile survived.
+        """
+        if not refs or len({ref.alias for ref in refs}) != 1:
+            return ()
+        cache_key = tuple(ref.qualified for ref in refs)
+        cached = self._heavy_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        result = self._heavy_hitters_uncached(refs)
+        self._heavy_cache[cache_key] = result
+        return result
+
+    def _heavy_hitters_uncached(
+        self, refs: list[ColumnRef]
+    ) -> tuple[tuple[tuple, float], ...]:
+        stats = self._stats_by_alias.get(refs[0].alias)
+        if stats is None:
+            return ()
+        if len(refs) == 1:
+            column = stats.column(refs[0].qualified)
+            if column is None:
+                return ()
+            return tuple(
+                ((value,), fraction)
+                for value, fraction in column.heavy_hitters
+                if value is not None
+            )
+        composite = stats.column(
+            composite_name(ref.qualified for ref in refs)
+        )
+        if composite is None:
+            return ()
+        sorted_names = sorted(ref.qualified for ref in refs)
+        positions = [sorted_names.index(ref.qualified) for ref in refs]
+        result = []
+        for value, fraction in composite.heavy_hitters:
+            if not isinstance(value, tuple) or len(value) != len(refs):
+                continue
+            key = tuple(value[position] for position in positions)
+            if any(part is None for part in key):
+                continue
+            result.append((key, fraction))
+        return tuple(result)
+
+    def key_distinct_values(self, refs: list[ColumnRef]) -> float:
+        """Distinct values of one side's (possibly composite) join key."""
+        if not refs:
+            return 1.0
+        cache_key = tuple(ref.qualified for ref in refs)
+        cached = self._key_dv_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        result = self._key_distinct_uncached(refs)
+        self._key_dv_cache[cache_key] = result
+        return result
+
+    def _key_distinct_uncached(self, refs: list[ColumnRef]) -> float:
+        stats = self._stats_by_alias.get(refs[0].alias)
+        if stats is None:
+            return 1.0
+        if len(refs) > 1:
+            composite = stats.column(
+                composite_name(ref.qualified for ref in refs)
+            )
+            if composite is not None and composite.distinct_values > 0:
+                return min(composite.distinct_values,
+                           max(stats.row_count, 1.0))
+        product = 1.0
+        for ref in refs:
+            product *= max(self.distinct_values(ref), 1.0)
+        return min(product, max(stats.row_count, 1.0))
 
     # -- group-level -------------------------------------------------------------
 

@@ -30,6 +30,7 @@ from repro.errors import PlanError
 from repro.optimizer.plans import (
     BROADCAST,
     HYBRID,
+    SKEW,
     PhysJoin,
     PhysLeaf,
     PhysicalNode,
@@ -62,6 +63,25 @@ class JoinCostModel:
         fraction = self.spilled_fraction(build_bytes)
         return (cfg.cprobe * probe_bytes + cfg.cbuild * build_bytes
                 + cfg.cspill * fraction * (probe_bytes + build_bytes)
+                + cfg.cout * out_bytes + cfg.cjob)
+
+    def skew_cost(self, probe_bytes: float, build_bytes: float,
+                  out_bytes: float, heavy_probe_fraction: float,
+                  heavy_build_fraction: float) -> float:
+        """Skew join: heavy fractions pay broadcast rates, the tail
+        repartitions, all within one job.
+
+        Probe bytes carrying heavy keys are scanned and probed map-side
+        (``cprobe``); the remaining tail of both sides shuffles at
+        ``crep``; the heavy-key build table is filtered out of a full
+        scan of the build side, so ``cbuild`` is charged on all of it.
+        """
+        cfg = self.config
+        tail_probe = (1.0 - heavy_probe_fraction) * probe_bytes
+        tail_build = (1.0 - heavy_build_fraction) * build_bytes
+        return (cfg.crep * (tail_probe + tail_build)
+                + cfg.cprobe * heavy_probe_fraction * probe_bytes
+                + cfg.cbuild * build_bytes
                 + cfg.cout * out_bytes + cfg.cjob)
 
     def fits_in_memory(self, build_bytes: float) -> bool:
@@ -148,6 +168,12 @@ class JoinCostModel:
             cost = (left.cost + right.cost
                     + self.hybrid_cost(left_bytes, right_bytes,
                                        node.est_bytes))
+        elif node.method == SKEW:
+            cost = (left.cost + right.cost
+                    + self.skew_cost(left_bytes, right_bytes,
+                                     node.est_bytes,
+                                     node.heavy_probe_fraction,
+                                     node.heavy_build_fraction))
         else:
             cost = (left.cost + right.cost
                     + cfg.crep * (left_bytes + right_bytes)

@@ -13,6 +13,11 @@ memory-governed spill variant this repro adds:
   margin, so tasks keep what fits in memory and partition the rest to
   disk (Grace-style), paying extra I/O instead of a full shuffle. Hybrid
   joins never chain: their build already claims the whole memory budget.
+* ``PhysJoin(method="skew")`` -- the skew-aware hybrid of repartition and
+  broadcast (``./s``): heavy-hitter join keys detected from pilot
+  frequency profiles are joined map-side against a heavy-keys-only
+  broadcast build (bypassing the shuffle entirely), while the long tail
+  repartitions as usual -- all within one map+reduce job.
 
 ``render_plan`` prints trees in the style of the paper's Figures 2 and 3,
 and ``plan_signature`` gives a stable text identity used to detect plan
@@ -30,12 +35,17 @@ from repro.jaql.expr import JoinCondition, Predicate
 REPARTITION = "repartition"
 BROADCAST = "broadcast"
 HYBRID = "hybrid"
+SKEW = "skew"
 
 #: join methods whose build side is hash-loaded by map tasks (and which a
-#: permanent build failure therefore bans together).
-HASH_BUILD_METHODS = (BROADCAST, HYBRID)
+#: permanent build failure therefore bans together). SKEW belongs here:
+#: its heavy-key side channel is a broadcast build, so a doomed/overflowed
+#: build bans it alongside broadcast/hybrid and recovery falls back to a
+#: pure repartition plan.
+HASH_BUILD_METHODS = (BROADCAST, HYBRID, SKEW)
 
-_SYMBOLS = {REPARTITION: "./r", BROADCAST: "./b", HYBRID: "./h"}
+_SYMBOLS = {REPARTITION: "./r", BROADCAST: "./b", HYBRID: "./h",
+            SKEW: "./s"}
 
 
 @dataclass(frozen=True)
@@ -97,9 +107,17 @@ class PhysJoin(PhysicalNode):
     #: True when this broadcast join runs in the same map-only job as the
     #: broadcast join producing its probe input (Section 5.2, chain rule).
     chained: bool = False
+    #: SKEW only: the heavy join-key values (one tuple per key, in join
+    #: condition order) routed through the broadcast side channel; frozen
+    #: into the plan at optimization time from the pilot frequency profile.
+    heavy_keys: tuple = ()
+    #: SKEW only: estimated fraction of probe/build *bytes* carried by the
+    #: heavy keys (drives costing and the build's declared memory demand).
+    heavy_probe_fraction: float = 0.0
+    heavy_build_fraction: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.method not in (REPARTITION, BROADCAST, HYBRID):
+        if self.method not in (REPARTITION, BROADCAST, HYBRID, SKEW):
             raise PlanError(f"unknown join method: {self.method!r}")
         if self.left is None or self.right is None:
             raise PlanError("join requires two inputs")
@@ -107,6 +125,10 @@ class PhysJoin(PhysicalNode):
             raise PlanError("physical join requires join conditions")
         if self.chained and self.method != BROADCAST:
             raise PlanError("only broadcast joins can be chained")
+        if self.method == SKEW and not self.heavy_keys:
+            raise PlanError("skew join requires heavy keys")
+        if self.heavy_keys and self.method != SKEW:
+            raise PlanError("only skew joins carry heavy keys")
         expected = self.left.aliases | self.right.aliases
         if expected != self.aliases:
             raise PlanError("join aliases do not match its inputs")
@@ -203,6 +225,7 @@ class PlanSummary:
     repartition_joins: int = 0
     broadcast_joins: int = 0
     hybrid_joins: int = 0
+    skew_joins: int = 0
     chained_joins: int = 0
     max_depth: int = 0
     is_left_deep: bool = True
@@ -289,6 +312,8 @@ def summarize_plan(node: PhysicalNode) -> PlanSummary:
             summary.repartition_joins += 1
         elif current.method == HYBRID:
             summary.hybrid_joins += 1
+        elif current.method == SKEW:
+            summary.skew_joins += 1
         else:
             summary.broadcast_joins += 1
         if current.chained:

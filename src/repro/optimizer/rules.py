@@ -22,6 +22,7 @@ from repro.optimizer.plans import (
     BROADCAST,
     HYBRID,
     REPARTITION,
+    SKEW,
     PhysJoin,
     PhysicalNode,
     pipeline_build_bytes,
@@ -37,6 +38,13 @@ class JoinContext:
     est_bytes: float
     conditions: tuple[JoinCondition, ...]
     applied_predicates: tuple[Predicate, ...]
+    #: heavy-hitter join keys per side, ``((key tuple, fraction), ...)``
+    #: in join-condition order -- left is the probe, right the build.
+    probe_heavy: tuple = ()
+    build_heavy: tuple = ()
+    #: distinct values of the build side's join key (for estimating the
+    #: build share of heavy keys not in the build's own heavy list).
+    build_key_distinct: float = 1.0
 
 
 class ImplementationRule:
@@ -161,12 +169,74 @@ class HybridHashJoinRule(ImplementationRule):
         )
 
 
+class SkewJoinRule(ImplementationRule):
+    """Skew-aware join for probe sides dominated by a few hot keys.
+
+    Heavy-hitter keys (detected from the pilot frequency profile, see
+    :meth:`repro.optimizer.cardinality.CardinalityModel.heavy_hitters`)
+    are routed through a broadcast side channel: map tasks hash-load only
+    the build rows of those keys and join heavy probe rows in place,
+    bypassing the shuffle, while the long tail of both sides repartitions
+    normally -- one map+reduce job. Applicable when per-key and total
+    heavy fractions clear the configured thresholds and the heavy-key
+    slice of the build fits in task memory. Where a plain broadcast join
+    applies it always costs less (it skips the tail shuffle too), so this
+    rule only ever wins for builds too big to broadcast or spill --
+    exactly the hot-key repartition joins it exists to fix.
+    """
+
+    name = "join->skew"
+
+    def apply(self, left: PhysicalNode, right: PhysicalNode,
+              context: JoinContext,
+              cost_model: JoinCostModel) -> PhysJoin | None:
+        config = cost_model.config
+        if not config.enable_skew_rule or not context.probe_heavy:
+            return None
+        heavy = [(key, fraction) for key, fraction in context.probe_heavy
+                 if fraction >= config.skew_key_fraction]
+        heavy = heavy[:config.skew_max_keys]
+        if not heavy:
+            return None
+        probe_fraction = min(1.0, sum(fraction for _, fraction in heavy))
+        if probe_fraction < config.skew_min_probe_fraction:
+            return None
+        build_fractions = dict(context.build_heavy)
+        distinct = max(context.build_key_distinct, 1.0)
+        build_fraction = min(1.0, sum(
+            build_fractions.get(key, 1.0 / distinct) for key, _ in heavy
+        ))
+        if not cost_model.fits_in_memory(build_fraction * right.est_bytes):
+            return None
+        cost = (left.cost + right.cost
+                + cost_model.skew_cost(
+                    left.est_bytes, right.est_bytes, context.est_bytes,
+                    probe_fraction, build_fraction))
+        return PhysJoin(
+            aliases=context.aliases,
+            est_rows=context.est_rows,
+            est_bytes=context.est_bytes,
+            cost=cost,
+            method=SKEW,
+            left=left,
+            right=right,
+            conditions=context.conditions,
+            applied_predicates=context.applied_predicates,
+            heavy_keys=tuple(key for key, _ in heavy),
+            heavy_probe_fraction=probe_fraction,
+            heavy_build_fraction=build_fraction,
+        )
+
+
 def default_rules() -> tuple[ImplementationRule, ...]:
-    """The rule set: the paper's two joins plus the spill variant.
+    """The rule set: the paper's two joins plus the spill and skew variants.
 
     The broadcast rule comes first so that exact cost ties (e.g. joins
     over empty estimated inputs) resolve to the map-only operator, which
     is never slower in practice; the hybrid rule is mutually exclusive
-    with it (it applies only when broadcast declines for memory).
+    with it (it applies only when broadcast declines for memory); the
+    skew rule produces an extra candidate only when the probe side's
+    frequency profile clears its thresholds.
     """
-    return (BroadcastJoinRule(), HybridHashJoinRule(), RepartitionJoinRule())
+    return (BroadcastJoinRule(), HybridHashJoinRule(), SkewJoinRule(),
+            RepartitionJoinRule())

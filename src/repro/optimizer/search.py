@@ -42,7 +42,7 @@ from repro.optimizer.plans import (
     PhysicalNode,
 )
 from repro.optimizer.rules import JoinContext, default_rules
-from repro.stats.statistics import TableStats
+from repro.stats.statistics import TableStats, composite_name
 
 #: Simulated optimizer latency: seconds = BASE * GROWTH ** leaves.
 OPTIMIZER_SECONDS_BASE = 0.002
@@ -90,6 +90,12 @@ class JoinOptimizer:
         #: the search falls back to repartition (recovery, Section 1).
         self.banned_broadcast = banned_broadcast
         self._plans_considered = 0
+        #: join-key columns that could clear the skew gate; contexts
+        #: probing any other key skip all heavy-hitter work.
+        self._skew_columns = (
+            self.cardinality.heavy_columns(config.skew_key_fraction)
+            if config.enable_skew_rule else frozenset()
+        )
 
     # -- public -------------------------------------------------------------------
 
@@ -196,10 +202,34 @@ class JoinOptimizer:
             and not predicate.references() <= left_aliases
             and not predicate.references() <= right_aliases
         )
+        probe_heavy: tuple = ()
+        build_heavy: tuple = ()
+        build_key_distinct = 1.0
+        if conditions and self._skew_columns:
+            probe_refs = [condition.side_for(left_aliases)
+                          for condition in conditions]
+            if len(probe_refs) == 1:
+                probe_hot = probe_refs[0].qualified in self._skew_columns
+            else:  # composite keys profile under their composite name
+                probe_hot = composite_name(
+                    ref.qualified for ref in probe_refs
+                ) in self._skew_columns
+            if probe_hot:
+                probe_heavy = self.cardinality.heavy_hitters(probe_refs)
+            if probe_heavy:
+                build_refs = [condition.side_for(right_aliases)
+                              for condition in conditions]
+                build_heavy = self.cardinality.heavy_hitters(build_refs)
+                build_key_distinct = self.cardinality.key_distinct_values(
+                    build_refs
+                )
         return JoinContext(
             aliases=combined,
             est_rows=estimate.rows,
             est_bytes=estimate.bytes,
             conditions=conditions,
             applied_predicates=applied,
+            probe_heavy=probe_heavy,
+            build_heavy=build_heavy,
+            build_key_distinct=build_key_distinct,
         )

@@ -34,6 +34,12 @@ RowSizer = Callable[[Row], int]
 #: would lead to more accurate cost estimations").
 HISTOGRAM_BUCKETS = 16
 
+#: Heavy hitters retained per column: the top-K most frequent sampled
+#: values with their sample frequency. K=8 keeps the plan payload tiny
+#: while covering the head of any Zipf-like distribution worth special
+#: casing (rank 9 of Zipf(1.2) is already < 2% of the mass).
+HEAVY_HITTER_K = 8
+
 
 @dataclass(frozen=True)
 class Histogram:
@@ -167,6 +173,10 @@ class ColumnStats:
     #: optional equi-depth histogram over numeric values (Section 4.3's
     #: "additional statistics"); selectivity fractions are scale-free.
     histogram: "Histogram | None" = None
+    #: top-K ``(value, fraction)`` pairs over non-null samples, most
+    #: frequent first; empty when unknown (count table overflowed).
+    #: Fractions are scale-free, so they survive extrapolation unchanged.
+    heavy_hitters: tuple = ()
 
     def scaled(self, factor: float) -> "ColumnStats":
         """Extrapolate distinct values to ``factor = |R| / |Rs|`` x sample.
@@ -188,7 +198,8 @@ class ColumnStats:
             return ColumnStats(self.name, 0.0, self.min_value,
                                self.max_value, self.null_fraction,
                                self.f1, self.f2, self.split_overlap,
-                               self.sample_count, self.histogram)
+                               self.sample_count, self.histogram,
+                               self.heavy_hitters)
         linear = max(1.0, d * factor)
         duplication = (d / self.sample_count
                        if self.sample_count else 1.0)
@@ -226,6 +237,7 @@ class ColumnStats:
             self.split_overlap,
             self.sample_count,
             self.histogram,
+            self.heavy_hitters,
         )
 
     def _sample_estimate(self, factor: float, d: float) -> float:
@@ -300,6 +312,11 @@ class TableStats:
                     "null_fraction": stats.null_fraction,
                     "histogram": (stats.histogram.to_lists()
                                   if stats.histogram else None),
+                    "heavy_hitters": [
+                        [list(value) if isinstance(value, tuple) else value,
+                         fraction]
+                        for value, fraction in stats.heavy_hitters
+                    ],
                 }
                 for name, stats in self.columns.items()
             },
@@ -316,6 +333,11 @@ class TableStats:
                     entry.get("max"),
                     entry.get("null_fraction", 0.0),
                     histogram=Histogram.from_lists(entry.get("histogram")),
+                    heavy_hitters=tuple(
+                        (tuple(value) if isinstance(value, list) else value,
+                         fraction)
+                        for value, fraction in entry.get("heavy_hitters", [])
+                    ),
                 )
                 for name, entry in payload.get("columns", {}).items()
             }
@@ -582,6 +604,28 @@ class RunningColumn:
             overlap,
             float(self.total_count - self.null_count),
             histogram,
+            self._heavy_hitters(),
+        )
+
+    def _heavy_hitters(self) -> tuple:
+        """Top-K ``(value, sample fraction)`` pairs, most frequent first.
+
+        Only available while the exact count table survived its budget;
+        ties break by first observation, so the result is a pure function
+        of the (order-preserving) merged value stream and therefore
+        deterministic across serial/parallel and row/columnar execution.
+        """
+        counts = self.value_counts
+        non_null = self.total_count - self.null_count
+        if not counts or non_null <= 0:
+            return ()
+        order = {key: index for index, key in enumerate(counts)}
+        top = sorted(counts.items(),
+                     key=lambda item: (-item[1], order[item[0]]))
+        return tuple(
+            (value, count / non_null)
+            for value, count in top[:HEAVY_HITTER_K]
+            if count > 1
         )
 
 
@@ -764,6 +808,7 @@ def requalify_stats(stats: TableStats, alias: str) -> TableStats:
             new_name, column.distinct_values, column.min_value,
             column.max_value, column.null_fraction, column.f1, column.f2,
             column.split_overlap, column.sample_count, column.histogram,
+            column.heavy_hitters,
         )
     return TableStats(stats.row_count, stats.size_bytes, columns,
                       exact=stats.exact)

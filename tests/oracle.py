@@ -32,6 +32,7 @@ from repro.config import DEFAULT_CONFIG, DynoConfig
 from repro.core.dyno import Dyno
 from repro.data.tpch import generate_tpch
 from repro.workloads.queries import TPCH_WORKLOADS
+from repro.workloads.skewed import SKEWED_WORKLOADS, generate_skewed
 
 #: Scale factor for oracle datasets: big enough that Q10/Q2/Q7/Q8' return
 #: non-empty results and plans have several joins, small enough that the
@@ -43,12 +44,29 @@ ORACLE_SEED = 2014
 #: strategy plus all-at-once execution.
 ORACLE_STRATEGIES = ("CHEAP-1", "CHEAP-2", "UNC-1", "UNC-2", "ALL")
 
+#: Everything :func:`run_workload` can execute: the paper's TPC-H
+#: workloads plus the skewed hot-key workloads (which run against
+#: :func:`skewed_oracle_tables`, not the TPC-H dataset).
+ORACLE_WORKLOADS = {**TPCH_WORKLOADS, **SKEWED_WORKLOADS}
+
 ORACLE_QUERIES = tuple(sorted(TPCH_WORKLOADS))
+SKEWED_ORACLE_QUERIES = tuple(sorted(SKEWED_WORKLOADS))
 
 
 def oracle_tables():
     """The dataset the oracle runs against (generate once per module)."""
     return generate_tpch(ORACLE_SCALE_FACTOR, seed=ORACLE_SEED).tables
+
+
+def skewed_oracle_tables():
+    """The hot-key dataset for the skew-join sweeps (Zipf(1.2) tail).
+
+    Under the default config its plans contain a skew join, so every
+    sweep over :data:`SKEWED_ORACLE_QUERIES` exercises the heavy-key
+    side channel, the tail shuffle, and the map-side-output runtime
+    path against the same fingerprints as the rest of the oracle.
+    """
+    return generate_skewed(seed=ORACLE_SEED)
 
 
 def fault_matrix() -> list[FaultPlan]:
@@ -99,7 +117,7 @@ def run_workload(tables, query_name: str, strategy: str = "UNC-1",
     ``dyno`` is returned alongside the execution so callers can inspect
     the DFS (block output statistics) and the armed fault injector.
     """
-    workload = TPCH_WORKLOADS[query_name]()
+    workload = ORACLE_WORKLOADS[query_name]()
     dyno = Dyno(tables, config=config, udfs=workload.udfs)
     if len(workload.stages) > 1:
         execution = dyno.execute_multi(workload.stages, mode=mode,

@@ -1,0 +1,135 @@
+"""Property tests for heavy-hitter detection over seeded skewed draws.
+
+100 seeded Zipf/hot-key datasets are profiled through the same
+:class:`~repro.stats.statistics.RunningColumn` accumulator the pilot
+runs use, and the frozen ``heavy_hitters`` profile is checked against
+ground truth computed directly from the data:
+
+* **precision**: every reported key's fraction is *exactly* its
+  empirical frequency (the count table is exact until its budget);
+* **recall**: every key at or above the optimizer's skew threshold is
+  reported (the injected hot keys always are);
+* **determinism**: per-value and bulk accumulation, and repeated
+  generation under one seed, agree bit-for-bit;
+* **no false positives**: uniform data never produces a key above the
+  skew threshold, and all-unique data produces no heavy hitters at all.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro.config import DEFAULT_CONFIG
+from repro.stats.statistics import HEAVY_HITTER_K, RunningColumn
+from repro.workloads.skewed import (
+    CATEGORIES,
+    COUNTRIES,
+    SEGMENTS,
+    generate_skewed,
+)
+
+SEEDS = range(100)
+#: Per-dataset sizes: small enough that 100 draws stay fast, large
+#: enough that sampling noise cannot push an injected hot key (expected
+#: fraction 0.175) below the 0.1 detection threshold.
+USERS = 500
+CLICKS = 1500
+THRESHOLD = DEFAULT_CONFIG.optimizer.skew_key_fraction
+
+
+def _click_keys(seed: int) -> list[int]:
+    tables = generate_skewed(seed=seed, user_count=USERS,
+                             click_count=CLICKS, page_count=10)
+    return [row["user_id"] for row in tables["clicks"].rows]
+
+
+def _profile(values: list) -> tuple:
+    column = RunningColumn("user_id")
+    for value in values:
+        column.update(value)
+    return column.freeze().heavy_hitters
+
+
+def _hot_ids(seed: int) -> list[int]:
+    """The generator's injected hot keys, reproduced from its RNG walk."""
+    rng = random.Random(seed)
+    for _ in range(USERS):  # users consume choice+choice+randint
+        rng.choice(COUNTRIES), rng.choice(SEGMENTS), rng.randint(0, 100)
+    for _ in range(10):  # pages consume choice+randint
+        rng.choice(CATEGORIES), rng.randint(1, 100)
+    ids = list(range(1, USERS + 1))
+    rng.shuffle(ids)
+    return ids[:2]
+
+
+def test_detection_matches_ground_truth_on_100_zipf_draws():
+    for seed in SEEDS:
+        keys = _click_keys(seed)
+        truth = Counter(keys)
+        hitters = _profile(keys)
+
+        detected = {value for (value, fraction) in hitters
+                    if fraction >= THRESHOLD}
+        expected = {value for value, count in truth.items()
+                    if count / len(keys) >= THRESHOLD}
+        # Exact counting: precision and recall are both 1.0 at the
+        # optimizer's threshold (the >=threshold keys always fit in K).
+        assert detected == expected, f"seed {seed}"
+
+        # Reported fractions are the exact empirical frequencies.
+        for value, fraction in hitters:
+            assert fraction == truth[value] / len(keys), f"seed {seed}"
+
+
+def test_injected_hot_keys_always_detected():
+    for seed in SEEDS:
+        keys = _click_keys(seed)
+        detected = {value for (value, fraction) in _profile(keys)
+                    if fraction >= THRESHOLD}
+        missing = set(_hot_ids(seed)) - detected
+        assert not missing, f"seed {seed}: hot keys {missing} undetected"
+
+
+def test_profile_shape_and_order():
+    for seed in SEEDS:
+        hitters = _profile(_click_keys(seed))
+        assert 0 < len(hitters) <= HEAVY_HITTER_K
+        fractions = [fraction for (_, fraction) in hitters]
+        assert fractions == sorted(fractions, reverse=True), f"seed {seed}"
+        assert all(fraction > 1 / CLICKS for fraction in fractions)
+
+
+def test_determinism_across_accumulation_paths():
+    for seed in (0, 7, 2014):
+        keys = _click_keys(seed)
+        assert keys == _click_keys(seed)  # generator is seed-pure
+
+        serial = _profile(keys)
+        bulk = RunningColumn("user_id")
+        bulk.update_many(keys)  # the columnar batch path
+        assert bulk.freeze().heavy_hitters == serial
+        assert _profile(keys) == serial  # and re-profiling agrees
+
+
+def test_uniform_data_has_no_false_heavy_hitters():
+    for seed in SEEDS:
+        rng = random.Random(seed)
+        values = [rng.randrange(USERS) for _ in range(CLICKS)]
+        hitters = _profile(values)
+        for value, fraction in hitters:
+            assert fraction < THRESHOLD, (
+                f"seed {seed}: uniform value {value!r} reported at "
+                f"{fraction:.3f} >= {THRESHOLD}"
+            )
+
+
+def test_unique_values_yield_no_heavy_hitters():
+    assert _profile(list(range(5000))) == ()
+
+
+def test_count_table_overflow_disables_detection():
+    column = RunningColumn("wide")
+    column.update_many(list(range(RunningColumn.MAX_EXACT_VALUES + 1)))
+    column.update_many([0] * 1000)  # a genuine hot key, seen too late
+    assert column.freeze().heavy_hitters == ()

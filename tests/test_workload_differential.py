@@ -17,8 +17,9 @@ from repro.jaql.expr import QuerySpec
 from repro.jaql.interpreter import Interpreter
 from repro.jaql.rewrites import push_down_filters
 from repro.workloads.queries import TPCH_WORKLOADS
+from repro.workloads.skewed import SKEWED_WORKLOADS
 from tests.conftest import assert_same_rows
-from tests.oracle import oracle_tables, run_workload
+from tests.oracle import oracle_tables, run_workload, skewed_oracle_tables
 
 #: (label, mode, strategy, parallel, columnar) for every engine path;
 #: the columnar legs run the same queries over the batch data path.
@@ -80,6 +81,119 @@ def test_engine_matches_interpreter(tables, reference_cache, query,
     _, execution = run_workload(tables, query, strategy,
                                 config=config, mode=mode)
     assert_same_rows(execution.rows, reference_cache[query])
+
+
+@pytest.fixture(scope="module")
+def skew_tables():
+    return skewed_oracle_tables()
+
+
+@pytest.fixture(scope="module")
+def skew_reference_cache():
+    return {}
+
+
+@pytest.mark.parametrize("label,mode,strategy,parallel,columnar",
+                         ENGINE_PATHS,
+                         ids=[path[0] for path in ENGINE_PATHS])
+@pytest.mark.parametrize("query", sorted(SKEWED_WORKLOADS))
+def test_skewed_engine_matches_interpreter(skew_tables,
+                                           skew_reference_cache, query,
+                                           label, mode, strategy,
+                                           parallel, columnar):
+    """The hot-key workloads through every engine path vs the interpreter.
+
+    The dynopt paths plan these with a skew join (asserted below), so
+    this sweep differentially proves the whole SKEWJOIN pipeline --
+    heavy-hitter stats, costing, split-routing compilation, and the
+    map-side-output runtime -- on both data paths, serial and parallel.
+    """
+    from repro.optimizer.plans import summarize_plan
+
+    if query not in skew_reference_cache:
+        skew_reference_cache[query] = interpreter_reference(
+            skew_tables, SKEWED_WORKLOADS[query]())
+    config = DEFAULT_CONFIG
+    if columnar:
+        config = config.with_columnar()
+    if parallel:
+        config = config.with_parallel_execution()
+    _, execution = run_workload(skew_tables, query, strategy,
+                                config=config, mode=mode)
+    assert_same_rows(execution.rows, skew_reference_cache[query])
+    if mode == "dynopt":
+        # Pilot statistics expose the hot keys, so the dynamic optimizer
+        # must pick the skew join; the static 'simple' plans (no pilot)
+        # legitimately fall back to repartition.
+        skew_joins = sum(summarize_plan(plan).skew_joins
+                         for block in execution.block_results
+                         for plan in block.plans)
+        assert skew_joins >= 1, f"{label}: no skew join planned"
+
+
+class TestMidjobReplanTrigger:
+    """DynoConfig.midjob_qerror_threshold semantics."""
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            DEFAULT_CONFIG.with_midjob_trigger(0.99)
+
+    def test_unreachable_threshold_is_execution_identical(self,
+                                                          skew_tables):
+        """A finite-but-huge threshold exercises the audit arithmetic on
+        every job yet never fires: plans, iteration structure and rows
+        must be exactly the default run's."""
+        baseline_dyno, baseline = run_workload(skew_tables, "SkewFunnel",
+                                               "UNC-1")
+        armed_dyno, armed = run_workload(
+            skew_tables, "SkewFunnel", "UNC-1",
+            config=DEFAULT_CONFIG.with_midjob_trigger(1e12))
+        for base_block, armed_block in zip(baseline.block_results,
+                                           armed.block_results):
+            assert armed_block.midjob_replans == []
+            assert ([it.plan_signature for it in armed_block.iterations]
+                    == [it.plan_signature
+                        for it in base_block.iterations])
+            assert ([it.jobs_executed for it in armed_block.iterations]
+                    == [it.jobs_executed for it in base_block.iterations])
+        from tests.oracle import fingerprint
+        assert fingerprint(armed_dyno, armed) == \
+            fingerprint(baseline_dyno, baseline)
+
+    def test_trigger_fires_on_misestimates_and_results_match(
+            self, skew_tables, skew_reference_cache):
+        """At the floor threshold any estimation error fires the trigger
+        mid-graph; the replanned execution must still match the
+        interpreter row-for-row, and the trigger must be observable
+        through the trace and metrics channels."""
+        from repro.core.dyno import Dyno
+        from repro.obs import MemorySink, MetricsRegistry, Tracer
+
+        if "SkewFunnel" not in skew_reference_cache:
+            skew_reference_cache["SkewFunnel"] = interpreter_reference(
+                skew_tables, SKEWED_WORKLOADS["SkewFunnel"]())
+        sink = MemorySink()
+        metrics = MetricsRegistry()
+        workload = SKEWED_WORKLOADS["SkewFunnel"]()
+        dyno = Dyno(skew_tables,
+                    config=DEFAULT_CONFIG.with_midjob_trigger(1.0),
+                    udfs=workload.udfs, tracer=Tracer(sink),
+                    metrics=metrics)
+        execution = dyno.execute(workload.final_spec, mode="dynopt",
+                                 strategy="UNC-1", name="SkewFunnel")
+
+        fired = [name for block in execution.block_results
+                 for name in block.midjob_replans]
+        assert fired, "floor threshold never fired mid-graph"
+        events = [record for record in sink.records
+                  if record["name"] == "midjob_replan"]
+        assert [event["attrs"]["job"] for event in events] == fired
+        assert all(event["attrs"]["q_error"] >= 1.0 for event in events)
+        assert all(event["attrs"]["threshold"] == 1.0
+                   for event in events)
+        assert metrics.counter("dynopt.midjob_replans") == len(fired)
+        assert_same_rows(execution.rows,
+                         skew_reference_cache["SkewFunnel"])
 
 
 def test_reference_is_nontrivial(tables):
