@@ -144,6 +144,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="pre-load a statistics metastore file")
     parser.add_argument("--save-stats", metavar="PATH",
                         help="persist the statistics metastore afterwards")
+    parser.add_argument("--feedback", action="store_true",
+                        help="close the workload feedback loop: audit every "
+                             "estimate, learn per-signature selectivity "
+                             "corrections, auto-tune pilot samples, track "
+                             "plan-choice regret (see docs/feedback.md)")
+    parser.add_argument("--feedback-report", action="store_true",
+                        help="print the feedback store's correction / "
+                             "pilot-tuning / regret report afterwards "
+                             "(implies --feedback)")
+    parser.add_argument("--load-feedback", metavar="PATH",
+                        help="pre-load a feedback store file (implies "
+                             "--feedback)")
+    parser.add_argument("--save-feedback", metavar="PATH",
+                        help="persist the feedback store afterwards "
+                             "(implies --feedback)")
     parser.add_argument("--trace", metavar="PATH",
                         help="write a JSON-lines trace of the query "
                              "lifecycle (see docs/observability.md)")
@@ -183,6 +198,33 @@ def _apply_memory(config, args: argparse.Namespace):
                               cluster_memory_bytes=args.cluster_memory)
 
 
+def _build_feedback(args: argparse.Namespace, out):
+    """Construct the feedback store when any --feedback* flag asks for it."""
+    if not (args.feedback or args.feedback_report
+            or args.load_feedback or args.save_feedback):
+        return None
+    from repro.feedback import FeedbackStore
+
+    if args.load_feedback:
+        feedback = FeedbackStore.load(args.load_feedback)
+        print(f"loaded feedback store from {args.load_feedback} "
+              f"({len(feedback)} correction key(s))", file=out)
+    else:
+        feedback = FeedbackStore()
+    return feedback
+
+
+def _finish_feedback(feedback, args: argparse.Namespace, out) -> None:
+    """Report / persist the feedback store after a run."""
+    if feedback is None:
+        return
+    if args.feedback_report:
+        print("\n" + feedback.report(), file=out)
+    if args.save_feedback:
+        feedback.save(args.save_feedback)
+        print(f"saved feedback store to {args.save_feedback}", file=out)
+
+
 def _run_service(args: argparse.Namespace, out) -> int:
     """--batch: execute a mixed workload through the QueryService."""
     from repro.service import QueryService
@@ -205,9 +247,11 @@ def _run_service(args: argparse.Namespace, out) -> int:
         config = config.with_parallel_execution()
     tracer = Tracer(JsonLinesSink(args.trace)) if args.trace else None
     metrics = MetricsRegistry() if (args.metrics or args.profile) else None
+    feedback = _build_feedback(args, out)
     service = QueryService(tables, config=config, udfs=udfs,
                            tracer=tracer, metrics=metrics,
-                           workers=args.service_workers)
+                           workers=args.service_workers,
+                           feedback=feedback)
     if args.load_stats:
         count = service.dyno.load_statistics(args.load_stats)
         print(f"loaded {count} statistics entries from "
@@ -250,6 +294,7 @@ def _run_service(args: argparse.Namespace, out) -> int:
     if args.save_stats:
         service.dyno.save_statistics(args.save_stats)
         print(f"saved statistics to {args.save_stats}", file=out)
+    _finish_feedback(feedback, args, out)
     return 1 if failed else 0
 
 
@@ -293,9 +338,10 @@ def main(argv: list[str] | None = None,
 
     tracer = Tracer(JsonLinesSink(args.trace)) if args.trace else None
     metrics = MetricsRegistry() if (args.metrics or args.profile) else None
+    feedback = _build_feedback(args, out)
     dyno = Dyno(tables, config=config,
                 udfs=workload.udfs if workload else None,
-                tracer=tracer, metrics=metrics)
+                tracer=tracer, metrics=metrics, feedback=feedback)
 
     if args.load_stats:
         count = dyno.load_statistics(args.load_stats)
@@ -346,6 +392,7 @@ def main(argv: list[str] | None = None,
     if args.save_stats:
         dyno.save_statistics(args.save_stats)
         print(f"saved statistics to {args.save_stats}", file=out)
+    _finish_feedback(feedback, args, out)
     return 0
 
 

@@ -116,7 +116,8 @@ class Dyno:
                  metastore: StatisticsMetastore | None = None,
                  tracer: Tracer | None = None,
                  metrics: MetricsRegistry | None = None,
-                 plan_cache=None):
+                 plan_cache=None,
+                 feedback=None):
         from repro.storage.dfs import DistributedFileSystem
 
         self.config = config
@@ -140,6 +141,14 @@ class Dyno:
         if plan_cache is not None:
             self.executor.plan_cache = plan_cache
             self.metastore.subscribe(plan_cache.on_stats_update)
+        #: optional workload feedback store (see repro.feedback); shared
+        #: across queries -- and across Dyno instances in the service --
+        #: so estimate audits from one run correct the next.
+        self.feedback = feedback
+        if feedback is not None:
+            feedback.bind_metrics(self.metrics)
+            self.executor.feedback = feedback
+            self.executor.pilot_runner.feedback = feedback
 
     # -- catalog ------------------------------------------------------------------------
 

@@ -26,6 +26,12 @@ from repro.errors import (
     StorageError,
     TaskRetriesExhaustedError,
 )
+from repro.feedback.keys import (
+    BlockFeedbackContext,
+    block_feedback_context,
+    canonical_block_key,
+    group_key,
+)
 from repro.jaql.blocks import JoinBlock
 from repro.jaql.compiler import CompiledJob, PlanCompiler
 from repro.obs.metrics import q_error
@@ -145,6 +151,10 @@ class DynoptExecutor:
         #: optional cross-query plan cache, installed by the service layer
         #: (see :mod:`repro.service.plan_cache`). None = always optimize.
         self.plan_cache = None
+        #: optional workload feedback store (see :mod:`repro.feedback`),
+        #: installed by :class:`repro.core.dyno.Dyno`. None = no learning:
+        #: estimates, plans and pilot sizing match the paper's behaviour.
+        self.feedback = None
 
     # -- public ---------------------------------------------------------------------
 
@@ -223,6 +233,10 @@ class DynoptExecutor:
         """
         recovery = _RecoveryState()
         iteration = 0
+        # Snapshot the block's identities before any substitution: audit
+        # ingestion and correction lookups key off the original shape.
+        feedback_context = (block_feedback_context(block)
+                            if self.feedback is not None else None)
         while True:
             finished = self._finished_output(block)
             if finished is not None:
@@ -231,7 +245,8 @@ class DynoptExecutor:
                 return
 
             optimization = self._optimize(block, recovery.banned_broadcast,
-                                          iteration=iteration)
+                                          iteration=iteration,
+                                          feedback_context=feedback_context)
             result.optimizer_seconds += optimization.simulated_seconds
             result.plans.append(optimization.plan)
 
@@ -300,6 +315,15 @@ class DynoptExecutor:
                     stats_records=stats_records,
                 ))
                 iteration += 1
+
+                if self.feedback is not None:
+                    # Keys must come from the pre-substitution block (the
+                    # shape the estimates were computed over), so audits
+                    # are ingested before the substitution loop below.
+                    for compiled in chosen:
+                        self._ingest_feedback(feedback_context, block,
+                                              compiled,
+                                              batch[compiled.name])
 
                 surprised = False
                 qerror_threshold = self.config.midjob_qerror_threshold
@@ -485,6 +509,41 @@ class DynoptExecutor:
             if missed:
                 metrics.inc("dynopt.estimate_misses")
 
+    def _ingest_feedback(self, context: BlockFeedbackContext,
+                         block: JoinBlock, compiled: CompiledJob,
+                         job_result: JobResult) -> None:
+        """Feed one executed job's estimate audit into the feedback store.
+
+        Only join results are learnable: leaf-only and stage jobs carry
+        no cardinality-model estimate (their rows/bytes come straight
+        from statistics or are unestimated), so correcting them would
+        poison unrelated keys.
+        """
+        if compiled.join_count < 1 or not compiled.output_aliases:
+            return
+        if compiled.estimated_rows <= 0.0:
+            return
+        key = group_key(context, block, compiled.output_aliases)
+        if key is None:
+            return
+        identity = tuple(sorted(
+            (alias, context.alias_identity[alias])
+            for alias in compiled.output_aliases
+        ))
+        escalated = self.feedback.ingest(
+            key, identity,
+            estimated_rows=compiled.estimated_rows,
+            actual_rows=float(job_result.output_rows),
+            estimated_bytes=compiled.estimated_bytes,
+            actual_bytes=float(job_result.output_bytes),
+        )
+        if escalated and self.tracer.enabled:
+            self.tracer.event(
+                "feedback_escalate",
+                job=compiled.name,
+                signatures=sorted(escalated),
+            )
+
     # -- DYNOPT-SIMPLE ------------------------------------------------------------------
 
     def execute_physical_plan(
@@ -519,7 +578,10 @@ class DynoptExecutor:
             result.output_file = finished
             return
 
-        optimization = self._optimize(block)
+        feedback_context = (block_feedback_context(block)
+                            if self.feedback is not None else None)
+        optimization = self._optimize(block,
+                                      feedback_context=feedback_context)
         result.optimizer_seconds += optimization.simulated_seconds
         result.plans.append(optimization.plan)
         self._run_graph(
@@ -604,13 +666,22 @@ class DynoptExecutor:
 
     def _optimize(self, block: JoinBlock,
                   banned_broadcast: frozenset = frozenset(),
-                  iteration: int = 0):
+                  iteration: int = 0,
+                  feedback_context: BlockFeedbackContext | None = None):
         leaf_stats = self._leaf_stats(block)
+        feedback = self.feedback
+        # Learned corrections change this block's estimates without
+        # changing the statistics; salting the fingerprint keeps plans
+        # cached under other correction states from resurfacing.
+        salt = ""
+        if feedback is not None and feedback_context is not None:
+            salt = feedback.correction_token(
+                feedback_context.alias_identity)
         # Recovery replans carry banned broadcasts that are not part of the
         # cache key; bypass the cache entirely on that (rare) path.
         cache = self.plan_cache if not banned_broadcast else None
         if cache is not None:
-            cached = cache.lookup(block, leaf_stats)
+            cached = cache.lookup(block, leaf_stats, salt=salt)
             if self.tracer.enabled:
                 self.tracer.event("plan_cache", block=block.name,
                                   iteration=iteration,
@@ -618,11 +689,17 @@ class DynoptExecutor:
             if cached is not None:
                 if self.metrics.enabled:
                     self.metrics.inc("plan_cache.hits")
+                if feedback is not None:
+                    feedback.record_choice(canonical_block_key(block),
+                                           plan_signature(cached.plan),
+                                           cached.cost)
                 return cached
             if self.metrics.enabled:
                 self.metrics.inc("plan_cache.misses")
         optimizer = JoinOptimizer(block, leaf_stats, self.config.optimizer,
-                                  banned_broadcast=banned_broadcast)
+                                  banned_broadcast=banned_broadcast,
+                                  feedback=feedback,
+                                  feedback_context=feedback_context)
         with self.tracer.span("optimize", block=block.name,
                               iteration=iteration,
                               leaves=len(block.leaves),
@@ -641,7 +718,11 @@ class DynoptExecutor:
                                  optimization.simulated_seconds)
         if cache is not None:
             cache.store(block, leaf_stats, optimization.plan,
-                        optimization.cost)
+                        optimization.cost, salt=salt)
+        if feedback is not None:
+            feedback.record_choice(canonical_block_key(block),
+                                   plan_signature(optimization.plan),
+                                   optimization.cost)
         return optimization
 
     def _compiler(self, prefix: str) -> PlanCompiler:

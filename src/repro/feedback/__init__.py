@@ -1,0 +1,25 @@
+"""Workload feedback loop: estimate audits drive the next optimization.
+
+See :mod:`repro.feedback.store` for the store (correction factors, pilot
+auto-tuning, plan-choice regret) and :mod:`repro.feedback.keys` for the
+name-independent keys it learns under. ``docs/feedback.md`` walks through
+the design.
+"""
+
+from repro.feedback.keys import (
+    BlockFeedbackContext,
+    block_feedback_context,
+    canonical_block_key,
+    group_key,
+    leaf_identity,
+)
+from repro.feedback.store import FeedbackStore
+
+__all__ = [
+    "BlockFeedbackContext",
+    "FeedbackStore",
+    "block_feedback_context",
+    "canonical_block_key",
+    "group_key",
+    "leaf_identity",
+]

@@ -1,0 +1,134 @@
+"""Name-independent keys for estimate-audit feedback.
+
+The feedback store must recognize "the same estimate" across queries whose
+block/file names differ (the service prefixes every query) and across
+DYNOPT iterations (intermediate leaves are per-query DFS files). A group
+key therefore renders, for one executed alias set:
+
+* the **composition** -- which leaf alias-sets of the *current* block were
+  combined. A first-iteration estimate built from three base leaves and a
+  later estimate built from an exact two-alias intermediate plus one base
+  leaf are different estimators with different error profiles, so they
+  learn separate corrections;
+* the **relation identities** under each alias -- a base leaf's statistics
+  signature (Section 4.1), an intermediate's provenance when it
+  materialized a base leaf (pilot reuse), or its alias set otherwise;
+* the join conditions and non-local predicates of the *original* block
+  that fall inside the alias set. They describe the semantic content of
+  the group's output, which is invariant to when the optimizer applied
+  them, so keys match across iterations that placed predicates
+  differently.
+
+Aliases come from the query text, not from the service's per-query
+renaming, so repeated submissions of one query hit the same keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.jaql.blocks import BlockLeaf, JoinBlock
+from repro.jaql.expr import Predicate
+
+
+def leaf_identity(leaf: BlockLeaf) -> str:
+    """Name-independent relation identity of one leaf.
+
+    A pilot-substituted intermediate *is* the base leaf it materialized
+    (same rows, same statistics), so it keys under that leaf's signature;
+    cold runs (pilots substituted) and warm runs (pilots skipped, base
+    leaves intact) of one query then share feedback and plan-cache
+    entries. Join-result intermediates have no cross-query identity
+    beyond their alias set.
+    """
+    if leaf.is_base:
+        return leaf.signature()
+    return leaf.provenance or "intermediate"
+
+
+def canonical_block_key(block: JoinBlock) -> str:
+    """Name-independent identity of a join block's remaining work.
+
+    The plan cache keys on it (with a statistics fingerprint); the
+    feedback store's regret leaderboard aggregates optimizer choices
+    under it. Per-query DFS file names never enter the key, so repeated
+    queries -- and iteration-k blocks of repeated queries -- share one
+    identity.
+    """
+    leaf_parts = []
+    for leaf in sorted(block.leaves, key=lambda l: tuple(sorted(l.aliases))):
+        aliases = "+".join(sorted(leaf.aliases))
+        leaf_parts.append(f"{aliases}={leaf_identity(leaf)}")
+    conditions = sorted(c.describe() for c in block.conditions)
+    predicates = sorted(p.signature() for p in block.non_local_predicates)
+    return (
+        "leaves[" + ";".join(leaf_parts) + "]"
+        "|conds[" + ";".join(conditions) + "]"
+        "|preds[" + ";".join(predicates) + "]"
+    )
+
+
+@dataclass(frozen=True)
+class BlockFeedbackContext:
+    """The original block's identities, captured once per execution.
+
+    DYNOPT substitutes executed sub-plans into the block as it runs, so
+    by the time a job's output is audited the block no longer holds the
+    original conditions/predicates the estimate priced in. The context
+    snapshots them (plus each alias's relation identity) before the loop
+    starts, keeping keys stable across iterations.
+    """
+
+    alias_identity: dict[str, str]
+    conditions: tuple
+    predicates: tuple[Predicate, ...]
+
+
+def block_feedback_context(block: JoinBlock) -> BlockFeedbackContext:
+    alias_identity = {
+        alias: leaf_identity(leaf)
+        for leaf in block.leaves
+        for alias in leaf.aliases
+    }
+    return BlockFeedbackContext(
+        alias_identity=alias_identity,
+        conditions=tuple(block.conditions),
+        predicates=tuple(block.non_local_predicates),
+    )
+
+
+def group_key(context: BlockFeedbackContext, block: JoinBlock,
+              aliases: frozenset[str]) -> str | None:
+    """Feedback key for the estimate of joining ``aliases``.
+
+    ``block`` is the block the estimate was computed over (the remaining
+    block of the current iteration); ``context`` is the snapshot of the
+    original block. Returns None when an alias is unknown to the context
+    (a recovered/rewritten block the snapshot cannot describe).
+    """
+    if not aliases:
+        return None
+    identity_parts = []
+    for alias in sorted(aliases):
+        identity = context.alias_identity.get(alias)
+        if identity is None:
+            return None
+        identity_parts.append(f"{alias}={identity}")
+    composition = sorted(
+        "+".join(sorted(leaf.aliases))
+        for leaf in block.leaves if leaf.aliases <= aliases
+    )
+    conditions = sorted(
+        condition.describe() for condition in context.conditions
+        if condition.aliases() <= aliases
+    )
+    predicates = sorted(
+        predicate.signature() for predicate in context.predicates
+        if predicate.references() <= aliases
+    )
+    return (
+        "from[" + ";".join(composition) + "]"
+        "|ids[" + ";".join(identity_parts) + "]"
+        "|conds[" + ";".join(conditions) + "]"
+        "|preds[" + ";".join(predicates) + "]"
+    )

@@ -76,12 +76,16 @@ class JoinOptimizer:
     def __init__(self, block: JoinBlock,
                  leaf_stats: dict[str, TableStats],
                  config: OptimizerConfig,
-                 banned_broadcast: frozenset[frozenset[str]] = frozenset()):
+                 banned_broadcast: frozenset[frozenset[str]] = frozenset(),
+                 feedback=None, feedback_context=None):
         self.block = block
         self.config = config
         self.graph = JoinGraph.build(block)
         self.graph.validate()
-        self.cardinality = CardinalityModel(block, leaf_stats)
+        self.cardinality = CardinalityModel(
+            block, leaf_stats,
+            feedback=feedback, feedback_context=feedback_context,
+        )
         self.cost_model = JoinCostModel(config)
         self.rules = default_rules()
         self.memo = Memo(self.graph)

@@ -35,8 +35,11 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 
+from repro.feedback.keys import canonical_block_key
+from repro.feedback.keys import leaf_identity as _leaf_identity
 from repro.jaql.blocks import JoinBlock
 from repro.optimizer.plans import PhysicalNode, PhysJoin, PhysLeaf
 from repro.stats.statistics import TableStats
@@ -59,46 +62,40 @@ class CachedOptimization:
     simulated_seconds: float = 0.0
 
 
-def _leaf_identity(leaf) -> str:
-    """Name-independent relation identity of one leaf.
-
-    A pilot-substituted intermediate *is* the base leaf it materialized
-    (same rows, same statistics), so it keys under that leaf's signature;
-    cold runs (pilots substituted) and warm runs (pilots skipped, base
-    leaves intact) of one query then share cache entries. Join-result
-    intermediates have no cross-query identity beyond their alias set.
-    """
-    if leaf.is_base:
-        return leaf.signature()
-    return leaf.provenance or "intermediate"
-
-
-def canonical_block_key(block: JoinBlock) -> str:
-    """Name-independent identity of a join block's remaining work."""
-    leaf_parts = []
-    for leaf in sorted(block.leaves, key=lambda l: tuple(sorted(l.aliases))):
-        aliases = "+".join(sorted(leaf.aliases))
-        leaf_parts.append(f"{aliases}={_leaf_identity(leaf)}")
-    conditions = sorted(c.describe() for c in block.conditions)
-    predicates = sorted(p.signature() for p in block.non_local_predicates)
-    return (
-        "leaves[" + ";".join(leaf_parts) + "]"
-        "|conds[" + ";".join(conditions) + "]"
-        "|preds[" + ";".join(predicates) + "]"
-    )
+__all__ = [
+    "CachedOptimization",
+    "PlanCache",
+    "canonical_block_key",
+    "statistics_fingerprint",
+]
 
 
 def statistics_fingerprint(block: JoinBlock,
-                           leaf_stats: dict[str, TableStats]) -> str:
-    """Stable hash over the contributing leaves' statistics."""
+                           leaf_stats: dict[str, TableStats],
+                           salt: str = "") -> str | None:
+    """Stable hash over the contributing leaves' statistics.
+
+    ``salt`` folds caller state that changes the optimizer's estimates
+    without changing the statistics themselves (the feedback store's
+    correction token), so corrected estimates never resurrect plans
+    cached under uncorrected ones. Returns None when a contributing
+    leaf's statistics are missing -- the caller must treat that as a
+    cache miss, not a crash (a concurrent invalidation or a caller bug
+    may leave a leaf unstated; degrading keeps the driver thread alive).
+    """
     payload = {}
     for leaf in block.leaves:
         signature = leaf.signature()
         identity = _leaf_identity(leaf)
         if identity == "intermediate":
             identity = "intermediate:" + "+".join(sorted(leaf.aliases))
-        payload[identity] = leaf_stats[signature].to_dict()
+        stats = leaf_stats.get(signature)
+        if stats is None:
+            return None
+        payload[identity] = stats.to_dict()
     text = json.dumps(payload, sort_keys=True)
+    if salt:
+        text += "|salt:" + salt
     return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
 
 
@@ -112,18 +109,31 @@ class _Entry:
 
 
 class PlanCache:
-    """Thread-safe (block key, statistics fingerprint) -> plan store."""
+    """Thread-safe (block key, statistics fingerprint) -> plan store.
 
-    def __init__(self, max_entries: int = 256) -> None:
+    Eviction is true LRU: a lookup hit and a re-store of an existing key
+    both refresh the entry's recency, so under sustained traffic the
+    hottest recurring plans survive and the cold tail is what falls out.
+    ``hits_by_block`` is LRU-capped at ``max_block_stats`` entries --
+    block names are per-query prefixed in the service, so an unbounded
+    map is a slow memory leak; the cap keeps the recent (in-flight)
+    queries readable, which is all the service's per-query attribution
+    needs.
+    """
+
+    def __init__(self, max_entries: int = 256,
+                 max_block_stats: int = 512) -> None:
         self.max_entries = max_entries
+        self.max_block_stats = max_block_stats
         self._lock = threading.Lock()
-        self._entries: dict[tuple[str, str], _Entry] = {}
+        self._entries: OrderedDict[tuple[str, str], _Entry] = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
         #: per-block-name hit counts; block names are query-prefixed in the
-        #: service, so this attributes hits to queries.
-        self.hits_by_block: dict[str, int] = {}
+        #: service, so this attributes hits to queries (recent ones only --
+        #: see the class docstring for the bound).
+        self.hits_by_block: OrderedDict[str, int] = OrderedDict()
 
     def __len__(self) -> int:
         with self._lock:
@@ -132,35 +142,44 @@ class PlanCache:
     # -- lookup / store -------------------------------------------------------
 
     def lookup(self, block: JoinBlock,
-               leaf_stats: dict[str, TableStats]) -> CachedOptimization | None:
-        key = (canonical_block_key(block),
-               statistics_fingerprint(block, leaf_stats))
+               leaf_stats: dict[str, TableStats],
+               salt: str = "") -> CachedOptimization | None:
+        fingerprint = statistics_fingerprint(block, leaf_stats, salt)
+        if fingerprint is None:
+            with self._lock:
+                self.misses += 1
+            return None
+        key = (canonical_block_key(block), fingerprint)
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
                 return None
+            self._entries.move_to_end(key)
             self.hits += 1
             self.hits_by_block[block.name] = \
                 self.hits_by_block.get(block.name, 0) + 1
+            self.hits_by_block.move_to_end(block.name)
+            while len(self.hits_by_block) > self.max_block_stats:
+                self.hits_by_block.popitem(last=False)
         plan = _remap_plan(entry.plan, block)
         return CachedOptimization(plan=plan, cost=entry.cost)
 
     def store(self, block: JoinBlock, leaf_stats: dict[str, TableStats],
-              plan: PhysicalNode, cost: float) -> None:
-        key = (canonical_block_key(block),
-               statistics_fingerprint(block, leaf_stats))
+              plan: PhysicalNode, cost: float, salt: str = "") -> None:
+        fingerprint = statistics_fingerprint(block, leaf_stats, salt)
+        if fingerprint is None:
+            return
+        key = (canonical_block_key(block), fingerprint)
         contributing = frozenset(
             identity for identity in map(_leaf_identity, block.leaves)
             if identity.startswith("table:")
         )
         with self._lock:
-            if key not in self._entries and \
-                    len(self._entries) >= self.max_entries:
-                # Drop the oldest entry (dict preserves insertion order).
-                oldest = next(iter(self._entries))
-                del self._entries[oldest]
             self._entries[key] = _Entry(plan, cost, contributing)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     # -- invalidation ---------------------------------------------------------
 
@@ -179,6 +198,17 @@ class PlanCache:
             for key in stale:
                 del self._entries[key]
             self.invalidations += len(stale)
+
+    def hits_for_prefix(self, prefix: str) -> int:
+        """Total hits attributed to block names starting with ``prefix``.
+
+        Reads under the lock: concurrent lookups reorder
+        ``hits_by_block`` (LRU), so callers must not iterate it raw.
+        """
+        with self._lock:
+            return sum(count
+                       for block, count in self.hits_by_block.items()
+                       if block.startswith(prefix))
 
     def summary(self) -> dict[str, int]:
         with self._lock:

@@ -214,15 +214,20 @@ class QueryService:
                  tracer: Tracer | None = None,
                  metrics: MetricsRegistry | None = None,
                  workers: int = 4,
-                 plan_cache: PlanCache | None = None):
+                 plan_cache: PlanCache | None = None,
+                 feedback=None):
         if workers < 1:
             raise PlanError("QueryService needs at least one worker")
         self.workers = workers
         # `or` would discard a caller's *empty* cache (len == 0 is falsy).
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        #: optional shared workload feedback store (repro.feedback); its
+        #: own RLock makes it safe under the service's driver threads.
+        self.feedback = feedback
         self.dyno = Dyno(tables, config=config, udfs=udfs,
                          metastore=metastore, tracer=tracer,
-                         metrics=metrics, plan_cache=self.plan_cache)
+                         metrics=metrics, plan_cache=self.plan_cache,
+                         feedback=feedback)
         self.tracer = self.dyno.tracer
         self.metrics = self.dyno.metrics
         self._memory_gate = _MemoryGate(
@@ -412,10 +417,8 @@ class QueryService:
                     1 for leaf_outcome in report.outcomes.values()
                     if leaf_outcome.reused
                 )
-            outcome.plan_cache_hits = sum(
-                count
-                for block, count in self.plan_cache.hits_by_block.items()
-                if block.startswith(f"{admission.prefix}.")
+            outcome.plan_cache_hits = self.plan_cache.hits_for_prefix(
+                f"{admission.prefix}."
             )
         except Exception as error:  # noqa: BLE001 - one query must not
             # take down the batch; UDFs run arbitrary user code.
