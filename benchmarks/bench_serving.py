@@ -1,0 +1,242 @@
+"""Sustained multi-tenant serving benchmark: latency, throughput, caches.
+
+The serving claim of ISSUE 9: with the scheduler front door, the service
+sustains hundreds of queued queries from >= 3 tenants -- fairly
+dispatched, byte-identical to a serial run -- and the result-set cache
+turns recurring identities into near-free hits.
+
+Protocol:
+
+1. **serial reference** -- one pass of the mixed workload on a fresh
+   ``workers=1`` service records each base query's reference rows
+   (the differential-oracle standard of earlier PRs);
+2. **uncached sustained run** -- N queries (the mixed sequence cycled
+   across T tenants with varied priorities) are pushed through
+   ``scheduler.run_sustained`` on a fresh multi-worker service with the
+   result cache off; wall-clock start-to-drained gives throughput, each
+   outcome carries its queue wait and end-to-end latency;
+3. **cached sustained run** -- same load, fresh service, result cache
+   on: recurring (block key x stats fingerprint x correction token)
+   identities return cached rows without executing.
+
+Every outcome of both sustained runs is checked byte-identical to the
+serial reference for its query -- concurrency, fair scheduling and
+caching change timing, never answers. Any mismatch or query error
+refuses to record results.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --output BENCH_PR9.json
+    PYTHONPATH=src python benchmarks/bench_serving.py --check BENCH_PR9.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.service import QueryRequest, QueryService
+from repro.workloads.mixed import (
+    mixed_batch,
+    mixed_tables,
+    mixed_tenant_batch,
+)
+
+SEED = 2014
+SCALE = 0.02
+EVENTS = 2000
+QUERIES = 210
+TENANTS = 3
+WORKERS = 4
+
+
+def _rows_key(rows) -> str:
+    return json.dumps(
+        sorted(json.dumps(row, sort_keys=True, default=str)
+               for row in rows))
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _serial_reference(tables, udfs, base_requests) -> dict[str, str]:
+    service = QueryService(dict(tables), udfs=udfs, workers=1)
+    outcomes = service.run_batch(
+        [QueryRequest(r.name, list(r.stages)) for r in base_requests])
+    errors = [o.error for o in outcomes if o.error]
+    if errors:
+        raise SystemExit(f"serial reference failed: {errors}")
+    return {o.name: _rows_key(o.rows) for o in outcomes}
+
+
+def _sustained_run(tables, udfs, requests, workers: int,
+                   reference: dict[str, str], cached: bool) -> dict:
+    service = QueryService(dict(tables), udfs=udfs, workers=workers,
+                           result_cache=cached)
+    started = time.perf_counter()
+    outcomes = service.scheduler.run_sustained(requests)
+    wall = time.perf_counter() - started
+
+    errors = [o.error for o in outcomes if o.error]
+    if errors:
+        raise SystemExit(f"sustained run failed: {errors}")
+    if len(outcomes) != len(requests):
+        raise SystemExit(
+            f"lost queries: {len(outcomes)}/{len(requests)} drained")
+    for outcome in outcomes:
+        if _rows_key(outcome.rows) != reference[outcome.name]:
+            raise SystemExit(
+                f"byte-identity violated for {outcome.name} "
+                f"(tenant {outcome.tenant}); refusing to record")
+
+    latencies = [o.latency_seconds for o in outcomes]
+    waits = [o.wait_seconds for o in outcomes]
+    per_tenant = {}
+    for outcome in outcomes:
+        per_tenant.setdefault(outcome.tenant, []).append(outcome)
+    tenants = {
+        tenant: {
+            "queries": len(group),
+            "p50_latency_s": round(_percentile(
+                [o.latency_seconds for o in group], 0.50), 6),
+            "p99_latency_s": round(_percentile(
+                [o.latency_seconds for o in group], 0.99), 6),
+            "mean_wait_s": round(
+                sum(o.wait_seconds for o in group) / len(group), 6),
+            "result_cache_hits": sum(
+                1 for o in group if o.result_cache_hit),
+        }
+        for tenant, group in sorted(per_tenant.items())
+    }
+    result = {
+        "queries": len(outcomes),
+        "wall_s": round(wall, 3),
+        "throughput_qps": round(len(outcomes) / wall, 2),
+        "p50_latency_s": round(_percentile(latencies, 0.50), 6),
+        "p99_latency_s": round(_percentile(latencies, 0.99), 6),
+        "mean_wait_s": round(sum(waits) / len(waits), 6),
+        "tenants": tenants,
+        "plan_cache": service.plan_cache.summary(),
+        "byte_identical_to_serial": True,
+    }
+    if service.result_cache is not None:
+        result["result_cache"] = service.result_cache.summary()
+    return result
+
+
+def run_bench(scale: float, seed: int, events: int, queries: int,
+              tenants: int, workers: int) -> dict:
+    if tenants < 3:
+        raise SystemExit("the serving benchmark needs >= 3 tenants")
+    tables = mixed_tables(scale, seed=seed, weblog_events=events)
+    base_requests, udfs = mixed_batch()
+    reference = _serial_reference(tables, udfs, base_requests)
+    requests, _ = mixed_tenant_batch(queries, tenants)
+
+    uncached = _sustained_run(tables, udfs, requests, workers,
+                              reference, cached=False)
+    cached = _sustained_run(tables, udfs, requests, workers,
+                            reference, cached=True)
+    speedup = (uncached["wall_s"] / cached["wall_s"]
+               if cached["wall_s"] else 0.0)
+    return {
+        "pr": 9,
+        "schema_version": 1,
+        "python": platform.python_version(),
+        "workload": {
+            "scale": scale,
+            "seed": seed,
+            "weblog_events": events,
+            "queries": queries,
+            "tenants": tenants,
+            "workers": workers,
+            "sequence": sorted({r.name for r in base_requests}),
+            "protocol": "serial reference, then sustained queued load "
+                        "uncached and cached; every outcome checked "
+                        "byte-identical to the reference",
+        },
+        "modes": {
+            "uncached": uncached,
+            "cached": cached,
+        },
+        "result_cache_speedup": round(speedup, 3),
+    }
+
+
+def check(path: Path) -> int:
+    recorded = json.loads(path.read_text())
+    failures = []
+    for mode in ("uncached", "cached"):
+        entry = recorded["modes"][mode]
+        if not entry.get("byte_identical_to_serial"):
+            failures.append(f"{mode}: not byte-identical to serial")
+        if entry["throughput_qps"] <= 0:
+            failures.append(f"{mode}: throughput {entry['throughput_qps']}")
+        if entry["p99_latency_s"] < entry["p50_latency_s"]:
+            failures.append(f"{mode}: p99 < p50")
+        if len(entry["tenants"]) < 3:
+            failures.append(f"{mode}: {len(entry['tenants'])} tenant(s) "
+                            "recorded, need >= 3")
+        counts = [t["queries"] for t in entry["tenants"].values()]
+        if max(counts) - min(counts) > 1:
+            failures.append(f"{mode}: uneven tenant completion {counts}")
+    cached = recorded["modes"]["cached"]
+    if cached.get("result_cache", {}).get("hits", 0) == 0:
+        failures.append("cached mode recorded zero result-cache hits")
+    if recorded["result_cache_speedup"] <= 1.0:
+        failures.append(
+            f"result cache slowed the sustained run down "
+            f"(x{recorded['result_cache_speedup']})")
+    for line in failures:
+        print(f"FAIL {line}")
+    if not failures:
+        print(f"ok: {path} -- {cached['throughput_qps']} qps cached / "
+              f"{recorded['modes']['uncached']['throughput_qps']} qps "
+              f"uncached over {cached['queries']} queries, "
+              f"{len(cached['tenants'])} tenants, byte-identical")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", metavar="PATH",
+                        help="write results as JSON")
+    parser.add_argument("--check", metavar="PATH",
+                        help="validate a recorded results file instead "
+                             "of benchmarking")
+    parser.add_argument("--scale", type=float, default=SCALE)
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--events", type=int, default=EVENTS)
+    parser.add_argument("--queries", type=int, default=QUERIES)
+    parser.add_argument("--tenants", type=int, default=TENANTS)
+    parser.add_argument("--workers", type=int, default=WORKERS)
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return check(Path(args.check))
+
+    results = run_bench(args.scale, args.seed, args.events,
+                        args.queries, args.tenants, args.workers)
+    for mode in ("uncached", "cached"):
+        entry = results["modes"][mode]
+        print(f"{mode:>9}: {entry['queries']} queries in "
+              f"{entry['wall_s']}s = {entry['throughput_qps']} qps, "
+              f"p50 {entry['p50_latency_s']}s / "
+              f"p99 {entry['p99_latency_s']}s")
+    print(f"result-cache speedup: x{results['result_cache_speedup']}")
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(results, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -88,6 +88,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="driver threads for --batch (default 4; results are "
              "identical at any worker count)",
     )
+    parser.add_argument(
+        "--tenants", type=_positive_int, default=1, metavar="N",
+        help="replicate the --batch workload across N tenants with "
+             "varied priorities; the scheduler's deficit-weighted "
+             "round robin shares admission slots fairly between them "
+             "(default 1)",
+    )
+    parser.add_argument(
+        "--qps", type=_positive_float, default=None, metavar="RATE",
+        help="submit --batch queries at RATE per second through the "
+             "long-lived scheduler queue instead of all at once; "
+             "reports queue wait and end-to-end latency per tenant",
+    )
+    parser.add_argument(
+        "--result-cache", action="store_true",
+        help="enable the result-set cache for --batch: a recurring "
+             "(block key x stats fingerprint x correction token) "
+             "identity returns cached rows without executing",
+    )
 
     parser.add_argument(
         "--skew", action="store_true",
@@ -225,16 +244,43 @@ def _finish_feedback(feedback, args: argparse.Namespace, out) -> None:
         print(f"saved feedback store to {args.save_feedback}", file=out)
 
 
+def _print_tenant_stats(outcomes, out) -> None:
+    """Per-tenant wait / end-to-end latency table for queued runs."""
+    by_tenant: dict[str, list] = {}
+    for outcome in outcomes:
+        by_tenant.setdefault(outcome.tenant, []).append(outcome)
+    print(f"\n{'tenant':<12} {'queries':>8} {'errors':>7} "
+          f"{'mean wait':>10} {'p99 latency':>12}", file=out)
+    for tenant in sorted(by_tenant):
+        group = by_tenant[tenant]
+        waits = [o.wait_seconds for o in group]
+        latencies = sorted(o.latency_seconds for o in group)
+        p99 = latencies[min(len(latencies) - 1,
+                            int(0.99 * len(latencies)))]
+        print(f"{tenant:<12} {len(group):>8} "
+              f"{sum(1 for o in group if not o.ok):>7} "
+              f"{sum(waits) / len(waits):>9.4f}s {p99:>11.4f}s", file=out)
+
+
 def _run_service(args: argparse.Namespace, out) -> int:
     """--batch: execute a mixed workload through the QueryService."""
     from repro.service import QueryService
-    from repro.workloads.mixed import mixed_batch, mixed_tables
+    from repro.workloads.mixed import (
+        mixed_batch,
+        mixed_tables,
+        mixed_tenant_batch,
+    )
 
     scale_factor = _scale_factor(args)
     print(f"generating TPC-H + weblogs at scale factor {scale_factor} ...",
           file=out)
     tables = mixed_tables(scale_factor, seed=args.seed)
-    requests, udfs = mixed_batch()
+    if args.tenants > 1:
+        base, udfs = mixed_batch()
+        requests, _ = mixed_tenant_batch(len(base) * args.tenants,
+                                         args.tenants)
+    else:
+        requests, udfs = mixed_batch()
     for request in requests:
         request.mode = args.mode
         request.strategy = args.strategy
@@ -251,16 +297,24 @@ def _run_service(args: argparse.Namespace, out) -> int:
     service = QueryService(tables, config=config, udfs=udfs,
                            tracer=tracer, metrics=metrics,
                            workers=args.service_workers,
-                           feedback=feedback)
+                           feedback=feedback,
+                           result_cache=args.result_cache)
     if args.load_stats:
         count = service.dyno.load_statistics(args.load_stats)
         print(f"loaded {count} statistics entries from "
               f"{args.load_stats}", file=out)
 
-    print(f"running {len(requests)} queries on "
-          f"{args.service_workers} driver thread(s) ...", file=out)
+    mode = (f"sustained at {args.qps} qps" if args.qps
+            else "as one batch")
+    print(f"running {len(requests)} queries from {args.tenants} "
+          f"tenant(s) {mode} on {args.service_workers} driver "
+          f"thread(s) ...", file=out)
     try:
-        outcomes = service.run_batch(requests)
+        if args.qps:
+            outcomes = service.scheduler.run_sustained(requests,
+                                                       qps=args.qps)
+        else:
+            outcomes = service.run_batch(requests)
     except DynoError as error:
         print(f"error: {error}", file=out)
         return 1
@@ -269,20 +323,32 @@ def _run_service(args: argparse.Namespace, out) -> int:
             tracer.close()
             print(f"wrote trace to {args.trace}", file=out)
 
-    print(f"\n{'query':<20} {'rows':>6} {'pilots':>7} {'skipped':>8} "
-          f"{'plan hits':>10}", file=out)
+    print(f"\n{'query':<20} {'tenant':<12} {'rows':>6} {'pilots':>7} "
+          f"{'skipped':>8} {'plan hits':>10} {'cached':>7}", file=out)
     failed = 0
     for outcome in outcomes:
         if not outcome.ok:
             failed += 1
-            print(f"{outcome.name:<20} error: {outcome.error}", file=out)
+            print(f"{outcome.name:<20} {outcome.tenant:<12} "
+                  f"error: {outcome.error}", file=out)
             continue
-        print(f"{outcome.name:<20} {len(outcome.rows):>6} "
+        print(f"{outcome.name:<20} {outcome.tenant:<12} "
+              f"{len(outcome.rows):>6} "
               f"{outcome.pilot_jobs:>7} {outcome.pilots_skipped:>8} "
-              f"{outcome.plan_cache_hits:>10}", file=out)
+              f"{outcome.plan_cache_hits:>10} "
+              f"{'yes' if outcome.result_cache_hit else '':>7}", file=out)
+    if args.tenants > 1 or args.qps:
+        _print_tenant_stats(outcomes, out)
     cache = service.plan_cache.summary()
     print(f"\nplan cache: {cache['hits']} hit(s), {cache['misses']} "
-          f"miss(es), {cache['invalidations']} invalidation(s)", file=out)
+          f"miss(es), {cache['invalidations']} invalidation(s) across "
+          f"{cache['shards']} shard(s)", file=out)
+    if service.result_cache is not None:
+        rcache = service.result_cache.summary()
+        print(f"result cache: {rcache['hits']} hit(s), "
+              f"{rcache['misses']} miss(es), "
+              f"{rcache['invalidations']} invalidation(s), "
+              f"{rcache['entries']} entries", file=out)
     print(f"metastore: {len(service.metastore)} statistics entries",
           file=out)
 

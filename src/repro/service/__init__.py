@@ -1,7 +1,9 @@
 """Serving layer: concurrent multi-query execution with cross-query reuse.
 
-See :mod:`repro.service.service` for the QueryService and
-:mod:`repro.service.plan_cache` for the plan cache it shares across
+See :mod:`repro.service.service` for the QueryService,
+:mod:`repro.service.scheduler` for the multi-tenant submission queue,
+:mod:`repro.service.plan_cache` for the sharded plan cache and
+:mod:`repro.service.result_cache` for the result-set cache shared across
 queries. ``docs/serving.md`` walks through the design.
 """
 
@@ -11,6 +13,8 @@ from repro.service.plan_cache import (
     canonical_block_key,
     statistics_fingerprint,
 )
+from repro.service.result_cache import ResultCache, request_identity
+from repro.service.scheduler import QueryScheduler, dispatch_order
 from repro.service.service import QueryOutcome, QueryRequest, QueryService
 
 __all__ = [
@@ -18,7 +22,11 @@ __all__ = [
     "PlanCache",
     "QueryOutcome",
     "QueryRequest",
+    "QueryScheduler",
     "QueryService",
+    "ResultCache",
     "canonical_block_key",
+    "dispatch_order",
+    "request_identity",
     "statistics_fingerprint",
 ]

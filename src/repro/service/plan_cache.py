@@ -35,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 
@@ -108,55 +109,102 @@ class _Entry:
     contributing: frozenset[str]
 
 
-class PlanCache:
-    """Thread-safe (block key, statistics fingerprint) -> plan store.
+class _Shard:
+    """One lock + one LRU segment of the plan cache."""
 
-    Eviction is true LRU: a lookup hit and a re-store of an existing key
-    both refresh the entry's recency, so under sustained traffic the
-    hottest recurring plans survive and the cold tail is what falls out.
-    ``hits_by_block`` is LRU-capped at ``max_block_stats`` entries --
-    block names are per-query prefixed in the service, so an unbounded
-    map is a slow memory leak; the cap keeps the recent (in-flight)
-    queries readable, which is all the service's per-query attribution
-    needs.
-    """
+    __slots__ = ("lock", "entries", "capacity",
+                 "hits", "misses", "invalidations")
 
-    def __init__(self, max_entries: int = 256,
-                 max_block_stats: int = 512) -> None:
-        self.max_entries = max_entries
-        self.max_block_stats = max_block_stats
-        self._lock = threading.Lock()
-        self._entries: OrderedDict[tuple[str, str], _Entry] = OrderedDict()
+    def __init__(self, capacity: int) -> None:
+        self.lock = threading.Lock()
+        self.entries: OrderedDict[tuple[str, str], _Entry] = OrderedDict()
+        self.capacity = capacity
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+
+
+class PlanCache:
+    """Thread-safe (block key, statistics fingerprint) -> plan store.
+
+    Sharded by canonical-block-key hash: each shard has its own lock and
+    its own LRU segment, so N driver threads looking up N different
+    recurring blocks no longer serialize on one cache lock. Small caches
+    (``max_entries`` < 64) stay single-shard, which preserves exact
+    global-LRU capacity semantics where they are observable; at serving
+    sizes the per-shard capacity split is the standard trade (a skewed
+    key distribution may evict slightly early).
+
+    Eviction is true LRU per shard: a lookup hit and a re-store of an
+    existing key both refresh the entry's recency, so under sustained
+    traffic the hottest recurring plans survive and the cold tail is
+    what falls out. ``hits_by_block`` is LRU-capped at
+    ``max_block_stats`` entries -- block names are per-query prefixed in
+    the service, so an unbounded map is a slow memory leak; the cap
+    keeps the recent (in-flight) queries readable, which is all the
+    service's per-query attribution needs. It stays a single map under
+    its own lock (attribution reads want one consistent view and the
+    map is touched only on hits).
+    """
+
+    def __init__(self, max_entries: int = 256,
+                 max_block_stats: int = 512,
+                 shards: int = 4) -> None:
+        if max_entries < 1:
+            raise ValueError("PlanCache needs max_entries >= 1")
+        self.max_entries = max_entries
+        self.max_block_stats = max_block_stats
+        shard_count = max(1, min(shards, max_entries // 32))
+        capacity = -(-max_entries // shard_count)  # ceil division
+        self._shards = [_Shard(capacity) for _ in range(shard_count)]
+        self._stats_lock = threading.Lock()
         #: per-block-name hit counts; block names are query-prefixed in the
         #: service, so this attributes hits to queries (recent ones only --
         #: see the class docstring for the bound).
         self.hits_by_block: OrderedDict[str, int] = OrderedDict()
 
+    def _shard(self, block_key: str) -> _Shard:
+        # crc32, not hash(): str.__hash__ is per-process salted and shard
+        # routing must be reproducible across runs.
+        return self._shards[zlib.crc32(block_key.encode("utf-8"))
+                            % len(self._shards)]
+
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
+        return sum(len(shard.entries) for shard in self._shards)
+
+    @property
+    def hits(self) -> int:
+        return sum(shard.hits for shard in self._shards)
+
+    @property
+    def misses(self) -> int:
+        return sum(shard.misses for shard in self._shards)
+
+    @property
+    def invalidations(self) -> int:
+        return sum(shard.invalidations for shard in self._shards)
 
     # -- lookup / store -------------------------------------------------------
 
     def lookup(self, block: JoinBlock,
                leaf_stats: dict[str, TableStats],
                salt: str = "") -> CachedOptimization | None:
+        block_key = canonical_block_key(block)
+        shard = self._shard(block_key)
         fingerprint = statistics_fingerprint(block, leaf_stats, salt)
         if fingerprint is None:
-            with self._lock:
-                self.misses += 1
+            with shard.lock:
+                shard.misses += 1
             return None
-        key = (canonical_block_key(block), fingerprint)
-        with self._lock:
-            entry = self._entries.get(key)
+        key = (block_key, fingerprint)
+        with shard.lock:
+            entry = shard.entries.get(key)
             if entry is None:
-                self.misses += 1
+                shard.misses += 1
                 return None
-            self._entries.move_to_end(key)
-            self.hits += 1
+            shard.entries.move_to_end(key)
+            shard.hits += 1
+        with self._stats_lock:
             self.hits_by_block[block.name] = \
                 self.hits_by_block.get(block.name, 0) + 1
             self.hits_by_block.move_to_end(block.name)
@@ -170,16 +218,18 @@ class PlanCache:
         fingerprint = statistics_fingerprint(block, leaf_stats, salt)
         if fingerprint is None:
             return
-        key = (canonical_block_key(block), fingerprint)
+        block_key = canonical_block_key(block)
+        key = (block_key, fingerprint)
         contributing = frozenset(
             identity for identity in map(_leaf_identity, block.leaves)
             if identity.startswith("table:")
         )
-        with self._lock:
-            self._entries[key] = _Entry(plan, cost, contributing)
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+        shard = self._shard(block_key)
+        with shard.lock:
+            shard.entries[key] = _Entry(plan, cost, contributing)
+            shard.entries.move_to_end(key)
+            while len(shard.entries) > shard.capacity:
+                shard.entries.popitem(last=False)
 
     # -- invalidation ---------------------------------------------------------
 
@@ -192,32 +242,33 @@ class PlanCache:
         """
         if not signature.startswith("table:"):
             return
-        with self._lock:
-            stale = [key for key, entry in self._entries.items()
-                     if signature in entry.contributing]
-            for key in stale:
-                del self._entries[key]
-            self.invalidations += len(stale)
+        for shard in self._shards:
+            with shard.lock:
+                stale = [key for key, entry in shard.entries.items()
+                         if signature in entry.contributing]
+                for key in stale:
+                    del shard.entries[key]
+                shard.invalidations += len(stale)
 
     def hits_for_prefix(self, prefix: str) -> int:
         """Total hits attributed to block names starting with ``prefix``.
 
-        Reads under the lock: concurrent lookups reorder
+        Reads under the stats lock: concurrent lookups reorder
         ``hits_by_block`` (LRU), so callers must not iterate it raw.
         """
-        with self._lock:
+        with self._stats_lock:
             return sum(count
                        for block, count in self.hits_by_block.items()
                        if block.startswith(prefix))
 
     def summary(self) -> dict[str, int]:
-        with self._lock:
-            return {
-                "entries": len(self._entries),
-                "hits": self.hits,
-                "misses": self.misses,
-                "invalidations": self.invalidations,
-            }
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "shards": len(self._shards),
+        }
 
 
 def _remap_plan(plan: PhysicalNode, block: JoinBlock) -> PhysicalNode:

@@ -1,0 +1,244 @@
+"""Cross-query result-set cache keyed by (structural identity, statistics
+fingerprint, correction token).
+
+The plan cache (PR 4) reuses *plans* when a block's canonical key and
+statistics recur; under sustained multi-tenant traffic the same identity
+argument extends one level up: when a whole query's structure AND every
+contributing base leaf's statistics AND the feedback store's correction
+state recur, the *result rows* recur too -- results in this system are
+plan-invariant (the differential oracle of earlier PRs), data is immutable
+between statistics updates, and statistics updates are the data-change
+signal (the CDC roadmap item keys off the same path). A hit therefore
+skips pilots, optimizer, and execution entirely and returns the cached
+rows, copied on read so callers can mutate their copy freely.
+
+The identity has three parts:
+
+* **structural key** -- per original (unprefixed) stage: the canonical
+  block key (name-independent: leaves as statistics signatures, join
+  conditions, non-local predicates) plus the one-line renderings of the
+  post-join stages (group-by/order-by/project headers, which the block
+  key does not cover -- two queries sharing a join block but differing in
+  projection must not collide) plus the stage's output-table name;
+* **statistics fingerprint** -- a hash of every contributing base leaf's
+  current :class:`TableStats`. Unknown statistics (a cold query) mean "no
+  key": the query executes and is cached afterwards, when its own pilots
+  have published them;
+* **correction token** -- the feedback store's quantized correction state
+  over the request's alias identities, mirroring the plan cache's salt.
+  (Corrections never change rows -- plans are answer-invariant -- but
+  keying identically to the plan cache keeps the two caches' lifetimes
+  aligned and costs nothing.)
+
+Invalidation mirrors the plan cache exactly: the cache subscribes to the
+metastore, and a statistics update for any contributing base-leaf
+signature evicts every dependent entry (:meth:`ResultCache.on_stats_update`).
+
+The store is sharded by key hash -- per-shard locks, per-shard LRU -- so
+driver threads serving different queries do not serialize on one lock;
+``summary()`` aggregates across shards.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import zlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.data.table import Row
+from repro.feedback.keys import canonical_block_key, leaf_identity
+
+__all__ = ["RequestIdentity", "ResultCache", "request_identity"]
+
+
+@dataclass(frozen=True)
+class RequestIdentity:
+    """Admission-time identity of one request, fingerprinted at run time.
+
+    ``structural`` is fixed at admission; the statistics fingerprint and
+    correction token are resolved by :meth:`key` against the *current*
+    metastore/feedback state, because a cold query's statistics only
+    exist after its own pilots ran.
+    """
+
+    #: canonical rendering of every stage (block key + post-join stages).
+    structural: str
+    #: base-leaf statistics signatures the result depends on.
+    contributing: frozenset[str]
+    #: alias -> relation identity over all stages (correction-token scope).
+    alias_identity: tuple[tuple[str, str], ...]
+
+    def key(self, metastore, feedback=None) -> str | None:
+        """Full cache key under current statistics, or None when any
+        contributing leaf is still unstated (nothing to fingerprint)."""
+        stats_payload = {}
+        for signature in sorted(self.contributing):
+            stats = metastore.get(signature)
+            if stats is None:
+                return None
+            stats_payload[signature] = stats.to_dict()
+        token = ""
+        if feedback is not None:
+            token = feedback.correction_token(dict(self.alias_identity))
+        text = json.dumps(
+            {"structural": self.structural, "stats": stats_payload,
+             "correction": token},
+            sort_keys=True,
+        )
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def request_identity(dyno, stages) -> RequestIdentity | None:
+    """Build a request's identity from its ORIGINAL (unprefixed) stages.
+
+    Computed pre-isolation so repeated submissions -- from any tenant,
+    under any per-query prefix -- share one identity. Leaves scanning an
+    earlier stage's output table are structurally covered by that stage
+    and carry no metastore statistics of their own, so they are excluded
+    from the contributing set. May raise DynoError for malformed stages
+    (the caller's admission error path covers it).
+    """
+    if not stages:
+        return None
+    structural_parts: list[str] = []
+    contributing: set[str] = set()
+    alias_identity: dict[str, str] = {}
+    prior_outputs: set[str] = set()
+    for spec, output in stages:
+        extracted = dyno.prepare(spec)
+        block = extracted.block
+        stage_heads = [
+            stage.describe().splitlines()[0].strip()
+            for stage in extracted.stages
+        ]
+        structural_parts.append(
+            "block[" + canonical_block_key(block) + "]"
+            "|stages[" + ";".join(stage_heads) + "]"
+            "|out:" + (output or "")
+        )
+        for leaf in block.base_leaves():
+            if leaf.source_name in prior_outputs:
+                continue
+            contributing.add(leaf.signature())
+            for alias in leaf.aliases:
+                alias_identity[alias] = leaf_identity(leaf)
+        if output is not None:
+            prior_outputs.add(output)
+    return RequestIdentity(
+        structural="||".join(structural_parts),
+        contributing=frozenset(contributing),
+        alias_identity=tuple(sorted(alias_identity.items())),
+    )
+
+
+@dataclass
+class _Entry:
+    rows: tuple[Row, ...]
+    contributing: frozenset[str]
+
+
+class _Shard:
+    """One lock + one LRU segment of the cache."""
+
+    __slots__ = ("lock", "entries", "capacity",
+                 "hits", "misses", "invalidations")
+
+    def __init__(self, capacity: int) -> None:
+        self.lock = threading.Lock()
+        self.entries: OrderedDict[str, _Entry] = OrderedDict()
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+
+class ResultCache:
+    """Sharded, thread-safe key -> result-rows store with LRU eviction.
+
+    Rows are copied on store AND on read: cached rows are shared state,
+    and post-join stages / clients mutate row dicts freely. Eviction is
+    per-shard LRU; ``max_entries`` is split evenly across shards, so a
+    pathologically skewed key distribution may evict earlier than a
+    single global LRU would -- an accepted trade for lock-free-ish reads
+    across driver threads.
+    """
+
+    def __init__(self, max_entries: int = 128, shards: int = 4) -> None:
+        if max_entries < 1:
+            raise ValueError("ResultCache needs max_entries >= 1")
+        shard_count = max(1, min(shards, max_entries))
+        capacity = -(-max_entries // shard_count)  # ceil division
+        self._shards = [_Shard(capacity) for _ in range(shard_count)]
+        self.max_entries = max_entries
+
+    def _shard(self, key: str) -> _Shard:
+        # crc32 is stable across processes (str.__hash__ is salted).
+        return self._shards[zlib.crc32(key.encode("utf-8"))
+                            % len(self._shards)]
+
+    def __len__(self) -> int:
+        return sum(len(shard.entries) for shard in self._shards)
+
+    def lookup(self, key: str) -> list[Row] | None:
+        shard = self._shard(key)
+        with shard.lock:
+            entry = shard.entries.get(key)
+            if entry is None:
+                shard.misses += 1
+                return None
+            shard.entries.move_to_end(key)
+            shard.hits += 1
+            rows = entry.rows
+        return [dict(row) for row in rows]
+
+    def store(self, key: str, rows: list[Row],
+              contributing: frozenset[str]) -> None:
+        frozen = tuple(dict(row) for row in rows)
+        shard = self._shard(key)
+        with shard.lock:
+            shard.entries[key] = _Entry(frozen, contributing)
+            shard.entries.move_to_end(key)
+            while len(shard.entries) > shard.capacity:
+                shard.entries.popitem(last=False)
+
+    def on_stats_update(self, signature: str, stats) -> None:
+        """Metastore listener: statistics were (re)collected for a leaf.
+
+        Same contract as ``PlanCache.on_stats_update``: any entry whose
+        result was computed over the old statistics for ``signature`` is
+        dropped, so a cached result never outlives the statistics state
+        it was keyed under.
+        """
+        if not signature.startswith("table:"):
+            return
+        for shard in self._shards:
+            with shard.lock:
+                stale = [key for key, entry in shard.entries.items()
+                         if signature in entry.contributing]
+                for key in stale:
+                    del shard.entries[key]
+                shard.invalidations += len(stale)
+
+    @property
+    def hits(self) -> int:
+        return sum(shard.hits for shard in self._shards)
+
+    @property
+    def misses(self) -> int:
+        return sum(shard.misses for shard in self._shards)
+
+    @property
+    def invalidations(self) -> int:
+        return sum(shard.invalidations for shard in self._shards)
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "shards": len(self._shards),
+        }

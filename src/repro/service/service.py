@@ -56,6 +56,7 @@ byte-identical to a serial run.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -71,6 +72,11 @@ from repro.jaql.functions import UdfRegistry
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.service.plan_cache import PlanCache
+from repro.service.result_cache import (
+    RequestIdentity,
+    ResultCache,
+    request_identity,
+)
 from repro.stats.metastore import StatisticsMetastore
 
 
@@ -92,6 +98,12 @@ class QueryRequest:
     #: admits immediately (no governance). Demands above the cluster pool
     #: are clamped, so an oversized query runs alone instead of never.
     memory_demand_bytes: int = 0
+    #: owner of the request; the scheduler's fair dispatcher round-robins
+    #: admission slots across tenants (see repro.service.scheduler).
+    tenant: str = "default"
+    #: relative weight of this tenant's admission share while this request
+    #: is at the head of its queue; clamped to >= 1 by the dispatcher.
+    priority: int = 1
 
     @classmethod
     def single(cls, name: str, query: QuerySpec | str,
@@ -121,6 +133,14 @@ class QueryOutcome:
     plan_cache_hits: int = 0
     execution: QueryExecution | None = None
     error: str | None = None
+    #: owner of the originating request.
+    tenant: str = "default"
+    #: True when the rows came from the result cache (no execution at all).
+    result_cache_hit: bool = False
+    #: seconds from scheduler submission to execution start.
+    wait_seconds: float = 0.0
+    #: seconds from scheduler submission to completion.
+    latency_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -135,6 +155,10 @@ class _Admission:
     request: QueryRequest
     prefix: str
     stages: list[tuple[QuerySpec, str | None]]
+    #: globally monotonic admission ticket; the memory gate orders its
+    #: waiters by it, so concurrent batches never collide (they used to
+    #: share per-batch indices -- see ``_MemoryGate``).
+    ticket: int = 0
     #: signatures this query runs the pilot for (it owns their events).
     claimed: list[str] = field(default_factory=list)
     #: signatures already in the metastore at admission.
@@ -145,6 +169,12 @@ class _Admission:
     own_events: list[threading.Event] = field(default_factory=list)
     #: admission-time failure (parse/extraction error); skips execution.
     error: str | None = None
+    #: result-cache identity of the original (unprefixed) request, or
+    #: None when the request is not cacheable (see result_cache.py).
+    identity: "RequestIdentity | None" = None
+    #: perf_counter timestamp of scheduler submission (None for direct
+    #: batches); wait/latency metrics derive from it.
+    submitted_at: float | None = None
 
     @property
     def query_name(self) -> str:
@@ -156,12 +186,20 @@ class _Admission:
 class _MemoryGate:
     """Admission gate over the cluster memory pool.
 
-    Grants are FIFO by *submission index*, not wall-clock arrival: when
-    memory frees, the lowest-index waiter goes first, and no later waiter
-    may bypass it even if its own demand would fit (starvation freedom +
-    determinism given the submitted batch). Deadlock-free by ordering:
-    queries acquire memory only *after* their pilot-claim waits, so a
-    memory holder never waits on a later submission.
+    Grants are FIFO by *admission ticket* -- a globally monotonic number
+    minted under the service's admission lock -- not wall-clock arrival:
+    when memory frees, the lowest-ticket waiter goes first, and no later
+    waiter may bypass it even if its own demand would fit (starvation
+    freedom + determinism given the admission order). Deadlock-free by
+    ordering: queries acquire memory only *after* their pilot-claim
+    waits, so a memory holder never waits on a later admission.
+
+    Tickets must be unique across *all* concurrent batches. They used to
+    be per-batch submission indices: two concurrent ``run_batch`` calls
+    both waited as index 0, the set's second ``add(0)`` was a no-op, the
+    first ``discard(0)`` erased both markers -- leaving the still-blocked
+    second waiter invisible, so ``try_acquire``'s empty-waiters fast path
+    bypassed it and its own wake-up crashed on ``min(set())``.
     """
 
     def __init__(self, pool_bytes: int):
@@ -182,17 +220,27 @@ class _MemoryGate:
                 return True
             return False
 
-    def acquire(self, index: int, demand: int) -> float:
-        """Block until granted; returns seconds spent waiting."""
+    def acquire(self, ticket: int, demand: int) -> float:
+        """Block until granted; returns seconds spent waiting.
+
+        ``ticket`` must be unique among concurrent callers (the service
+        passes ``_Admission.ticket``); a duplicate would corrupt the
+        waiter set exactly the way per-batch indices used to.
+        """
         started = time.perf_counter()
         with self._condition:
-            self._waiters.add(index)
+            if ticket in self._waiters:
+                raise PlanError(
+                    f"duplicate memory-gate ticket {ticket}: admission "
+                    "tickets must be globally unique"
+                )
+            self._waiters.add(ticket)
             try:
-                while not (index == min(self._waiters)
+                while not (ticket == min(self._waiters)
                            and demand <= self._free):
                     self._condition.wait()
             finally:
-                self._waiters.discard(index)
+                self._waiters.discard(ticket)
             self._free -= demand
             # The next-lowest waiter may fit in what remains.
             self._condition.notify_all()
@@ -215,7 +263,8 @@ class QueryService:
                  metrics: MetricsRegistry | None = None,
                  workers: int = 4,
                  plan_cache: PlanCache | None = None,
-                 feedback=None):
+                 feedback=None,
+                 result_cache: ResultCache | bool | None = None):
         if workers < 1:
             raise PlanError("QueryService needs at least one worker")
         self.workers = workers
@@ -233,7 +282,28 @@ class QueryService:
         self._memory_gate = _MemoryGate(
             config.cluster.effective_cluster_memory_bytes
         )
-        self._batch_count = 0
+        #: optional result-set cache (opt-in: repeats then skip execution
+        #: entirely, so reuse evidence like pilot/plan-cache counters no
+        #: longer accrues for them). ``True`` builds a default cache.
+        self.result_cache: ResultCache | None
+        if result_cache is True:
+            self.result_cache = ResultCache()
+        else:
+            self.result_cache = result_cache or None
+        if self.result_cache is not None:
+            self.metastore.subscribe(self.result_cache.on_stats_update)
+        # Admission is a critical section: batch ids and memory-gate
+        # tickets are minted here, and both must be globally monotonic
+        # across concurrent run_batch / drain callers.
+        self._admit_lock = threading.Lock()
+        self._batch_ids = itertools.count()
+        self._admission_tickets = itertools.count()
+        from repro.service.scheduler import QueryScheduler
+
+        #: long-lived submission queue (see repro.service.scheduler);
+        #: ``run_batch`` is a thin submit-everything-then-drain wrapper
+        #: over it.
+        self.scheduler = QueryScheduler(self)
 
     # -- public ---------------------------------------------------------------
 
@@ -242,13 +312,106 @@ class QueryService:
         return self.dyno.metastore
 
     def run_batch(self, requests: list[QueryRequest]) -> list[QueryOutcome]:
-        """Execute ``requests`` concurrently; outcomes in submission order."""
+        """Execute ``requests`` concurrently; outcomes in submission order.
+
+        Compatibility wrapper over the scheduler's ``submit()/drain()``:
+        the whole list is enqueued at once and drained to completion.
+        Because the drain is scoped to exactly these tickets, concurrent
+        ``run_batch`` callers never steal each other's outcomes.
+        """
+        tickets = [self.scheduler.submit(request) for request in requests]
+        return self.scheduler.drain(tickets)
+
+    # -- admission ------------------------------------------------------------
+
+    def _check_fault_guard(self) -> None:
         if self.dyno.runtime.fault_injector is not None and self.workers > 1:
             raise PlanError(
                 "fault injection is driver-global; run the service with "
                 "workers=1 when a fault plan is armed"
             )
-        admissions = self._admit(requests)
+
+    def _admit(self, requests: list[QueryRequest],
+               indices: list[int] | None = None) -> list[_Admission]:
+        """Serially classify each query's base-leaf signatures.
+
+        Processing in admission order gives deterministic pilot ownership:
+        the first query to mention an unseen signature claims its pilot;
+        later queries sharing it wait for the claimant instead of racing
+        it. The whole pass holds the admission lock: the batch id and the
+        per-admission memory-gate tickets must be minted atomically, or
+        two concurrent batches mint the same ``b{batch}.q{position}``
+        prefix -- colliding query names, DFS intermediates and
+        ``hits_for_prefix`` attribution.
+
+        ``indices`` carries each request's submission index (defaults to
+        its position); the scheduler passes per-drain sequence numbers so
+        outcomes can be returned in submission order even when the fair
+        dispatcher admitted them in a different order.
+        """
+        claims: dict[str, threading.Event] = {}
+        admissions: list[_Admission] = []
+        if indices is None:
+            indices = list(range(len(requests)))
+        with self._admit_lock:
+            batch = next(self._batch_ids)
+            for position, request in enumerate(requests):
+                prefix = f"b{batch}.q{position:03d}"
+                admission = _Admission(
+                    index=indices[position], request=request,
+                    prefix=prefix, stages=[],
+                    ticket=next(self._admission_tickets),
+                )
+                try:
+                    admission.stages = self._isolate_stages(prefix,
+                                                            request.stages)
+                    seen: set[str] = set()
+                    for spec, _ in admission.stages:
+                        extracted = self.dyno.prepare(spec)
+                        for leaf in extracted.block.base_leaves():
+                            signature = leaf.signature()
+                            if signature in seen:
+                                continue
+                            seen.add(signature)
+                            if signature in self.dyno.metastore:
+                                admission.known.append(signature)
+                                continue
+                            event = claims.get(signature)
+                            if event is None:
+                                event = threading.Event()
+                                claims[signature] = event
+                                admission.claimed.append(signature)
+                                admission.own_events.append(event)
+                            else:
+                                admission.wait_for.append(event)
+                    if self.result_cache is not None:
+                        admission.identity = request_identity(
+                            self.dyno, request.stages
+                        )
+                except DynoError as error:
+                    # A malformed query fails alone, not the whole batch.
+                    admission.error = f"{type(error).__name__}: {error}"
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "service.admit",
+                        query=admission.query_name,
+                        request=request.name,
+                        tenant=request.tenant,
+                        priority=request.priority,
+                        ticket=admission.ticket,
+                        claimed=sorted(admission.claimed),
+                        known=len(admission.known),
+                        waiting=len(admission.wait_for),
+                    )
+                admissions.append(admission)
+        return admissions
+
+    # -- batch execution ------------------------------------------------------
+
+    def _execute_admissions(
+        self, admissions: list[_Admission]
+    ) -> list[QueryOutcome]:
+        """Run admitted queries on the driver pool, in admission order."""
         with self.tracer.span("service.batch",
                               queries=len(admissions),
                               workers=self.workers) as span:
@@ -266,66 +429,15 @@ class QueryService:
                 pilot_jobs=sum(o.pilot_jobs for o in outcomes),
                 pilots_skipped=sum(o.pilots_skipped for o in outcomes),
                 plan_cache_hits=sum(o.plan_cache_hits for o in outcomes),
+                result_cache_hits=sum(
+                    1 for o in outcomes if o.result_cache_hit
+                ),
                 errors=sum(1 for o in outcomes if not o.ok),
             )
         if self.metrics.enabled:
             self.metrics.inc("service.batches")
             self.metrics.inc("service.queries", len(outcomes))
         return outcomes
-
-    # -- admission ------------------------------------------------------------
-
-    def _admit(self, requests: list[QueryRequest]) -> list[_Admission]:
-        """Serially classify each query's base-leaf signatures.
-
-        Processing in submission order gives deterministic pilot ownership:
-        the first query to mention an unseen signature claims its pilot;
-        later queries sharing it wait for the claimant instead of racing it.
-        """
-        claims: dict[str, threading.Event] = {}
-        admissions: list[_Admission] = []
-        batch = self._batch_count
-        self._batch_count += 1
-        for position, request in enumerate(requests):
-            prefix = f"b{batch}.q{position:03d}"
-            admission = _Admission(index=position, request=request,
-                                   prefix=prefix, stages=[])
-            try:
-                admission.stages = self._isolate_stages(prefix,
-                                                        request.stages)
-                seen: set[str] = set()
-                for spec, _ in admission.stages:
-                    extracted = self.dyno.prepare(spec)
-                    for leaf in extracted.block.base_leaves():
-                        signature = leaf.signature()
-                        if signature in seen:
-                            continue
-                        seen.add(signature)
-                        if signature in self.dyno.metastore:
-                            admission.known.append(signature)
-                            continue
-                        event = claims.get(signature)
-                        if event is None:
-                            event = threading.Event()
-                            claims[signature] = event
-                            admission.claimed.append(signature)
-                            admission.own_events.append(event)
-                        else:
-                            admission.wait_for.append(event)
-            except DynoError as error:
-                # A malformed query fails alone, not the whole batch.
-                admission.error = f"{type(error).__name__}: {error}"
-            if self.tracer.enabled:
-                self.tracer.event(
-                    "service.admit",
-                    query=admission.query_name,
-                    request=request.name,
-                    claimed=sorted(admission.claimed),
-                    known=len(admission.known),
-                    waiting=len(admission.wait_for),
-                )
-            admissions.append(admission)
-        return admissions
 
     def _isolate_stages(
         self, prefix: str,
@@ -378,20 +490,62 @@ class QueryService:
         with self.tracer.span(
             "admission_wait",
             query=admission.query_name,
+            ticket=admission.ticket,
             demand_bytes=demand,
             pool_bytes=self._memory_gate.pool_bytes,
         ) as span:
-            waited = self._memory_gate.acquire(admission.index, demand)
+            waited = self._memory_gate.acquire(admission.ticket, demand)
             span.set(waited_s=round(waited, 6))
         if self.metrics.enabled:
             self.metrics.inc("service.admission_waits")
             self.metrics.observe("service.admission_wait_s", waited)
         return demand
 
+    def _lookup_result(self, admission: _Admission) -> list[Row] | None:
+        """Probe the result cache; None on miss or uncacheable identity."""
+        if self.result_cache is None or admission.identity is None:
+            return None
+        key = admission.identity.key(self.metastore, self.feedback)
+        if key is None:  # some contributing statistics still unknown
+            return None
+        rows = self.result_cache.lookup(key)
+        if self.tracer.enabled:
+            self.tracer.event("result_cache",
+                              query=admission.query_name,
+                              hit=rows is not None)
+        if self.metrics.enabled:
+            self.metrics.inc("service.result_cache_hits"
+                             if rows is not None
+                             else "service.result_cache_misses")
+        return rows
+
+    def _store_result(self, admission: _Admission,
+                      rows: list[Row]) -> None:
+        """Cache a completed query's rows under its post-run identity."""
+        if self.result_cache is None or admission.identity is None:
+            return
+        key = admission.identity.key(self.metastore, self.feedback)
+        if key is None:
+            return
+        self.result_cache.store(key, rows,
+                                admission.identity.contributing)
+
     def _run_one(self, admission: _Admission) -> QueryOutcome:
         request = admission.request
         outcome = QueryOutcome(admission.index, request.name,
-                               admission.query_name)
+                               admission.query_name,
+                               tenant=request.tenant)
+        started = time.perf_counter()
+        if admission.submitted_at is not None:
+            outcome.wait_seconds = started - admission.submitted_at
+            if self.metrics.enabled:
+                self.metrics.inc("service.tenant_waits")
+                self.metrics.observe("service.tenant_wait_s",
+                                     outcome.wait_seconds)
+                self.metrics.observe(
+                    f"service.tenant_wait_s.{request.tenant}",
+                    outcome.wait_seconds,
+                )
         held_bytes = 0
         try:
             if admission.error is not None:
@@ -399,6 +553,11 @@ class QueryService:
                 return outcome
             for event in admission.wait_for:
                 event.wait()
+            cached_rows = self._lookup_result(admission)
+            if cached_rows is not None:
+                outcome.rows = cached_rows
+                outcome.result_cache_hit = True
+                return outcome
             held_bytes = self._acquire_memory(admission)
             execution = self.dyno.execute_multi(
                 admission.stages,
@@ -420,6 +579,7 @@ class QueryService:
             outcome.plan_cache_hits = self.plan_cache.hits_for_prefix(
                 f"{admission.prefix}."
             )
+            self._store_result(admission, outcome.rows)
         except Exception as error:  # noqa: BLE001 - one query must not
             # take down the batch; UDFs run arbitrary user code.
             outcome.error = f"{type(error).__name__}: {error}"
@@ -431,14 +591,19 @@ class QueryService:
             # metastore still empty and simply run the pilots themselves.
             for event in admission.own_events:
                 event.set()
-        if self.tracer.enabled:
-            self.tracer.event(
-                "service.complete",
-                query=admission.query_name,
-                rows=len(outcome.rows),
-                pilot_jobs=outcome.pilot_jobs,
-                pilots_skipped=outcome.pilots_skipped,
-                plan_cache_hits=outcome.plan_cache_hits,
-                error=outcome.error,
-            )
+            if admission.submitted_at is not None:
+                outcome.latency_seconds = \
+                    time.perf_counter() - admission.submitted_at
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "service.complete",
+                    query=admission.query_name,
+                    tenant=request.tenant,
+                    rows=len(outcome.rows),
+                    pilot_jobs=outcome.pilot_jobs,
+                    pilots_skipped=outcome.pilots_skipped,
+                    plan_cache_hits=outcome.plan_cache_hits,
+                    result_cache_hit=outcome.result_cache_hit,
+                    error=outcome.error,
+                )
         return outcome

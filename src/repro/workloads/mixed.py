@@ -62,3 +62,30 @@ def mixed_batch() -> tuple[list[QueryRequest], UdfRegistry]:
     requests = [QueryRequest.from_workload(workload)
                 for workload in workloads]
     return requests, mixed_udfs(workloads)
+
+
+def mixed_tenant_batch(queries: int, tenants: int,
+                       ) -> tuple[list[QueryRequest], UdfRegistry]:
+    """Sustained-load batch: the mixed sequence cycled across tenants.
+
+    Request ``i`` goes to tenant ``i % tenants`` (round-robin
+    submission, so every tenant's queue interleaves) at priority
+    ``tenant % 3 + 1``, giving the service scheduler's deficit-weighted
+    dispatcher real weight differences to arbitrate. Like
+    :func:`mixed_batch`, the result is a pure function of its
+    arguments -- identical specs and signatures on every call -- which
+    is what the result cache's identity keys rely on.
+    """
+    if queries < 1 or tenants < 1:
+        raise ValueError("mixed_tenant_batch needs queries >= 1 and "
+                         "tenants >= 1")
+    base, udfs = mixed_batch()
+    requests = []
+    for position in range(queries):
+        source = base[position % len(base)]
+        tenant = position % tenants
+        requests.append(QueryRequest(
+            name=source.name, stages=list(source.stages),
+            tenant=f"tenant-{tenant}", priority=tenant % 3 + 1,
+        ))
+    return requests, udfs

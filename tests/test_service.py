@@ -8,6 +8,7 @@ that repeats ran zero pilot jobs and hit the plan cache.
 
 import json
 import threading
+import time
 
 import pytest
 
@@ -372,3 +373,188 @@ class TestMetastoreUnderConcurrency:
         for thread in threads:
             thread.join()
         assert len(set(results.values())) == 1
+
+
+class TestMemoryGateTickets:
+    """Regression (ISSUE 9): the gate used to key waiters by per-batch
+    submission index. Two concurrent batches both waited as index 0: the
+    set's second ``add(0)`` was a no-op, the first ``discard(0)`` erased
+    both markers, ``try_acquire``'s empty-waiters fast path bypassed the
+    still-blocked query, and its own wake-up crashed on ``min(set())``.
+    Tickets are now globally monotonic and duplicates are rejected."""
+
+    def make_gate(self, pool=100):
+        from repro.service.service import _MemoryGate
+
+        return _MemoryGate(pool)
+
+    def wait_for_waiters(self, gate, count):
+        for _ in range(2000):
+            with gate._condition:
+                if len(gate._waiters) >= count:
+                    return
+            time.sleep(0.001)
+        raise AssertionError(f"never saw {count} waiter(s)")
+
+    def test_try_acquire_never_bypasses_a_cross_batch_waiter(self):
+        """The exact interleaving of the bug, with distinct tickets: a
+        blocked 'batch 1' query must keep the fast path closed even for
+        demands that would fit the remaining pool."""
+        gate = self.make_gate(pool=100)
+        assert gate.try_acquire(80)
+        grants = []
+
+        def blocked_batch():
+            gate.acquire(1, 50)  # 50 > 20 free: must wait
+            grants.append("t1")
+
+        thread = threading.Thread(target=blocked_batch)
+        thread.start()
+        self.wait_for_waiters(gate, 1)
+        # Pre-fix, a second batch's waiter was erased with the first's
+        # marker and this fast path then bypassed the blocked query.
+        assert not gate.try_acquire(10)
+        assert grants == []
+        gate.release(80)
+        thread.join(timeout=5)
+        assert grants == ["t1"]
+
+    def test_grants_follow_global_ticket_order(self):
+        """A later waiter whose demand fits must still queue behind an
+        earlier ticket (FIFO admission, deterministic given order)."""
+        gate = self.make_gate(pool=100)
+        assert gate.try_acquire(80)
+        grants = []
+
+        def waiter(ticket, demand):
+            gate.acquire(ticket, demand)
+            grants.append(ticket)
+
+        first = threading.Thread(target=waiter, args=(1, 50))
+        first.start()
+        self.wait_for_waiters(gate, 1)
+        # Ticket 2's demand of 10 fits the 20 free bytes -- it must not
+        # jump ticket 1.
+        second = threading.Thread(target=waiter, args=(2, 10))
+        second.start()
+        self.wait_for_waiters(gate, 2)
+        assert grants == []
+        gate.release(80)
+        first.join(timeout=5)
+        second.join(timeout=5)
+        assert grants == [1, 2]
+
+    def test_duplicate_tickets_are_rejected_not_corrupting(self):
+        """Colliding tickets (the old per-batch indices) now fail loudly
+        instead of silently erasing another batch's waiter marker."""
+        gate = self.make_gate(pool=100)
+        assert gate.try_acquire(100)
+        failures = []
+
+        def blocked():
+            gate.acquire(7, 10)
+
+        thread = threading.Thread(target=blocked)
+        thread.start()
+        self.wait_for_waiters(gate, 1)
+        with pytest.raises(PlanError, match="duplicate memory-gate"):
+            gate.acquire(7, 10)
+        gate.release(100)
+        thread.join(timeout=5)
+        assert not failures
+
+    def test_concurrent_governed_batches_complete_and_agree(self):
+        """End to end: several threads run memory-governed batches whose
+        aggregate demand exceeds the pool, forcing cross-batch waits.
+        Pre-fix this interleaving could bypass admissions or crash on
+        min(set()); now every batch completes with identical rows."""
+        pool = DEFAULT_CONFIG.cluster.effective_cluster_memory_bytes
+        demand = (pool // 3) * 2  # two can run, the third must wait
+        service = QueryService(small_tables(), workers=2)
+        barrier = threading.Barrier(3)
+        results = {}
+
+        def client(key):
+            barrier.wait()
+            outcomes = service.run_batch([QueryRequest.from_workload(
+                q3(), memory_demand_bytes=demand)])
+            results[key] = (outcomes[0].error,
+                            rows_bytes(outcomes[0].rows))
+
+        threads = [threading.Thread(target=client, args=(k,))
+                   for k in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(error is None for error, _ in results.values())
+        assert len({rows for _, rows in results.values()}) == 1
+
+
+class TestAdmissionRace:
+    """Regression (ISSUE 9): ``_admit`` bumped ``self._batch_count``
+    without a lock, so two concurrent ``run_batch`` calls could read the
+    same value and mint the same ``b{batch}.q{position}`` prefix --
+    colliding query names, DFS intermediates, and ``hits_for_prefix``
+    attribution. Batch ids are now minted under the admission lock."""
+
+    def test_hammered_admissions_mint_unique_prefixes(self):
+        """Drive the raw admission path from many threads at once; every
+        admission must carry a distinct prefix and ticket."""
+        service = QueryService(small_tables(), workers=1)
+        request = QueryRequest.from_workload(q3())
+        threads_n, rounds = 8, 5
+        barrier = threading.Barrier(threads_n)
+        prefixes, tickets = [], []
+        lock = threading.Lock()
+
+        def hammer():
+            barrier.wait()
+            for _ in range(rounds):
+                (admission,) = service._admit([request])
+                with lock:
+                    prefixes.append(admission.prefix)
+                    tickets.append(admission.ticket)
+
+        threads = [threading.Thread(target=hammer)
+                   for _ in range(threads_n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(prefixes) == threads_n * rounds
+        assert len(set(prefixes)) == len(prefixes), \
+            "two concurrent admissions minted the same batch prefix"
+        assert len(set(tickets)) == len(tickets)
+
+    def test_hammered_run_batch_is_byte_identical(self):
+        """Full-stack version: concurrent run_batch callers must neither
+        collide in the namespace nor diverge from each other."""
+        service = QueryService(small_tables(), workers=2)
+        # Warm the metastore so the hammering runs are cheap and the
+        # interesting contention is admission, not pilots.
+        service.run_batch([QueryRequest.from_workload(q3()),
+                           QueryRequest.from_workload(weblog_engagement())])
+        barrier = threading.Barrier(4)
+        results, names = {}, []
+        lock = threading.Lock()
+
+        def client(key):
+            barrier.wait()
+            outcomes = service.run_batch([
+                QueryRequest.from_workload(q3()),
+                QueryRequest.from_workload(weblog_engagement()),
+            ])
+            with lock:
+                results[key] = tuple(rows_bytes(o.rows) for o in outcomes)
+                names.extend(o.query_name for o in outcomes)
+
+        threads = [threading.Thread(target=client, args=(k,))
+                   for k in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(results.values())) == 1
+        assert len(set(names)) == len(names), \
+            "concurrent batches shared a query prefix"
