@@ -65,6 +65,21 @@ MODES = {
                   reps=2),
 }
 
+#: Canonical entry names this suite produces, importable by
+#: latest_baseline.py so baseline compatibility checks don't have to
+#: guess from JSON shape alone (a bespoke experiment record can look
+#: structurally identical while sharing zero entry names).
+BENCHMARK_NAMES = (
+    "kmv_ingest",
+    "kmv_merge",
+    "runtime_row_loop",
+    "runtime_row_loop_columnar",
+    "optimizer_search",
+    "q8_dynopt_driver",
+    "q8_dynopt_driver_columnar",
+    "pilr_mt_pilots",
+)
+
 
 def _parallel_config(base: DynoConfig) -> DynoConfig:
     """Enable the parallel data-path executor when this revision has it."""
@@ -328,18 +343,20 @@ def run_suite(mode: str, parallel: bool = True) -> dict[str, float]:
     params = MODES[mode]
     config = _parallel_config(DEFAULT_CONFIG) if parallel else DEFAULT_CONFIG
     results: dict[str, float] = {}
-    for name, fn in (
-        ("kmv_ingest", lambda: bench_kmv_ingest(params)),
-        ("kmv_merge", lambda: bench_kmv_merge(params)),
-        ("runtime_row_loop", lambda: bench_runtime_row_loop(params)),
-        ("runtime_row_loop_columnar",
-         lambda: bench_runtime_row_loop_columnar(params)),
-        ("optimizer_search", lambda: bench_optimizer_search(params)),
-        ("q8_dynopt_driver", lambda: bench_q8_dynopt_driver(params, config)),
-        ("q8_dynopt_driver_columnar",
-         lambda: bench_q8_dynopt_driver(params, _columnar_config(config))),
-        ("pilr_mt_pilots", lambda: bench_pilr_mt_pilots(params, config)),
-    ):
+    runners = {
+        "kmv_ingest": lambda: bench_kmv_ingest(params),
+        "kmv_merge": lambda: bench_kmv_merge(params),
+        "runtime_row_loop": lambda: bench_runtime_row_loop(params),
+        "runtime_row_loop_columnar":
+            lambda: bench_runtime_row_loop_columnar(params),
+        "optimizer_search": lambda: bench_optimizer_search(params),
+        "q8_dynopt_driver": lambda: bench_q8_dynopt_driver(params, config),
+        "q8_dynopt_driver_columnar":
+            lambda: bench_q8_dynopt_driver(params, _columnar_config(config)),
+        "pilr_mt_pilots": lambda: bench_pilr_mt_pilots(params, config),
+    }
+    for name in BENCHMARK_NAMES:
+        fn = runners[name]
         results[name] = fn()
         print(f"  {name:20s} {results[name]*1000:10.2f} ms", flush=True)
     return results

@@ -1,0 +1,99 @@
+"""Pick the newest committed BENCH_*.json compatible with a benchmark.
+
+The bench-regression CI job used to hard-code its baseline filename,
+which meant every PR that committed a fresh baseline also had to edit
+the workflow -- and forgetting that edit silently compared against a
+stale baseline. This script encodes the rule instead: scan the repo
+root for ``BENCH_PR<n>.json``, keep the ones whose schema the requested
+benchmark can actually check against, and print the newest (highest PR
+number) on stdout.
+
+Compatibility is structural, not name-based, because the repo's
+baselines are heterogeneous: BENCH_PR1/5/6 are perf-micro reports
+(``modes.smoke.entries`` / ``modes.full.entries``), while BENCH_PR7
+(workload), PR8 (feedback), PR9 (result cache) and PR10 (incremental
+refresh) are bespoke experiment records that perf-micro's ``--check``
+would accept but compare against vacuously (it skips entry names the
+baseline lacks). A perf-micro baseline for mode M must have a
+``modes[M]["entries"]`` mapping sharing at least one entry name with
+the suite's own benchmark list.
+
+Usage (in CI)::
+
+    BASELINE=$(python benchmarks/latest_baseline.py --mode smoke)
+    python benchmarks/bench_perf_micro.py --mode smoke --check "$BASELINE"
+
+Exits non-zero when no compatible baseline exists, so the job fails
+loudly instead of skipping the regression check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+_HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE))
+# bench_perf_micro imports repro at module scope.
+sys.path.insert(0, str(_HERE.parent / "src"))
+
+from bench_perf_micro import BENCHMARK_NAMES  # noqa: E402
+
+BASELINE_PATTERN = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+
+def pr_number(path: Path) -> int:
+    match = BASELINE_PATTERN.match(path.name)
+    return int(match.group(1)) if match else -1
+
+
+def is_perf_micro_baseline(path: Path, mode: str) -> bool:
+    """True when bench_perf_micro --check can read this file for mode."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return False
+    if not isinstance(payload, dict):
+        return False
+    entries = payload.get("modes", {}).get(mode, {}).get("entries")
+    if not isinstance(entries, dict) or not entries:
+        return False
+    # perf-micro's --check silently skips names the baseline lacks, so a
+    # zero-overlap baseline would "pass" without comparing anything.
+    return any(name in entries for name in BENCHMARK_NAMES)
+
+
+def latest_baseline(root: Path, mode: str) -> Path | None:
+    candidates = [
+        path for path in root.glob("BENCH_PR*.json")
+        if pr_number(path) >= 0 and is_perf_micro_baseline(path, mode)
+    ]
+    if not candidates:
+        return None
+    return max(candidates, key=pr_number)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--mode", default="smoke",
+                        help="perf-micro mode the baseline must cover "
+                             "(default smoke)")
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="directory to scan (default: repo root)")
+    args = parser.parse_args(argv)
+
+    baseline = latest_baseline(args.root, args.mode)
+    if baseline is None:
+        print(f"no BENCH_PR*.json in {args.root} has "
+              f"modes[{args.mode!r}].entries", file=sys.stderr)
+        return 1
+    print(baseline.name)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

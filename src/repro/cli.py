@@ -83,6 +83,28 @@ def build_parser() -> argparse.ArgumentParser:
              "drivers, shared metastore, pilot skipping, plan cache); "
              "'mixed' is TPC-H + weblogs with repeats",
     )
+    source.add_argument(
+        "--standing", action="store_true",
+        help="run the changing-data scenario: register standing weblog "
+             "queries, apply seeded CDC batches, and keep results fresh "
+             "via cardinality-chosen delta refresh or full recompute "
+             "(see docs/incremental.md)",
+    )
+    parser.add_argument(
+        "--changes", type=_positive_int, default=None, metavar="N",
+        help="number of change batches for --standing (default: one "
+             "pass over the scenario's step list)",
+    )
+    parser.add_argument(
+        "--change-rate", type=_positive_float, default=None, metavar="R",
+        help="override every --standing step's change rate (fraction "
+             "of the table touched per batch)",
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the per-batch differential check of --standing "
+             "(maintained result vs from-scratch recompute)",
+    )
     parser.add_argument(
         "--service-workers", type=int, default=4, metavar="N",
         help="driver threads for --batch (default 4; results are "
@@ -364,6 +386,135 @@ def _run_service(args: argparse.Namespace, out) -> int:
     return 1 if failed else 0
 
 
+def _run_standing(args: argparse.Namespace, out) -> int:
+    """--standing: the changing-data scenario (docs/incremental.md)."""
+    import itertools
+
+    from repro.incremental import (
+        ChangeGenerator,
+        StandingQueryManager,
+        apply_change_batch,
+    )
+    from repro.service import QueryRequest, QueryService
+    from repro.validation import canonical_rows
+    from repro.workloads.changing import (
+        DEFAULT_STEPS,
+        KEY_COLUMNS,
+        changing_tables,
+        changing_udfs,
+        standing_workloads,
+    )
+    from repro.workloads.weblogs import weblog_premium_blink
+
+    scale_factor = _scale_factor(args)
+    print(f"generating weblogs at scale factor {scale_factor} ...",
+          file=out)
+    tables = changing_tables(scale_factor, seed=args.seed)
+
+    config = _apply_memory(DEFAULT_CONFIG.with_backend(args.backend), args)
+    if args.columnar:
+        config = config.with_columnar()
+    if args.parallel:
+        config = config.with_parallel_execution()
+    tracer = Tracer(JsonLinesSink(args.trace)) if args.trace else None
+    metrics = MetricsRegistry() if (args.metrics or args.profile) else None
+    feedback = _build_feedback(args, out)
+    service = QueryService(tables, config=config, udfs=changing_udfs(),
+                           tracer=tracer, metrics=metrics,
+                           workers=args.service_workers,
+                           feedback=feedback,
+                           result_cache=args.result_cache)
+
+    workloads = standing_workloads()
+    manager = StandingQueryManager(service)
+    adhoc_workload = weblog_premium_blink()
+
+    count = args.changes if args.changes is not None else len(DEFAULT_STEPS)
+    steps = list(itertools.islice(itertools.cycle(DEFAULT_STEPS), count))
+
+    exit_code = 0
+    try:
+        for workload in workloads:
+            standing = manager.register(workload.name, workload.final_spec)
+            print(f"registered {workload.name}: "
+                  f"{len(standing.state)} state row(s), reads "
+                  f"{', '.join(sorted(standing.base_tables))}", file=out)
+
+        generators = {
+            table: ChangeGenerator(service.dyno.tables[table],
+                                   KEY_COLUMNS[table], seed=args.seed)
+            for table in KEY_COLUMNS
+        }
+        delta_total = full_total = 0
+        for step in steps:
+            rate = args.change_rate or step.change_rate
+            batch = generators[step.table].next_batch(rate, step.mix)
+            applied = apply_change_batch(service.dyno, batch,
+                                         KEY_COLUMNS[step.table])
+            adhoc = [QueryRequest.from_workload(adhoc_workload,
+                                                tenant="adhoc")]
+            report = manager.refresh(applied, adhoc=adhoc)
+            print(f"\nchange batch {batch.describe()} "
+                  f"({applied.delta_rows} delta row(s)):", file=out)
+            for outcome in report.outcomes:
+                if not outcome.ok:
+                    exit_code = 1
+                    print(f"  {outcome.query:<20} ERROR {outcome.error}",
+                          file=out)
+                    continue
+                decision = outcome.decision
+                print(f"  {outcome.query:<20} strategy={decision.strategy}"
+                      f" ratio={decision.ratio:6.1%} rows={outcome.rows}"
+                      f" sim={outcome.simulated_seconds:.1f}s", file=out)
+            for outcome in report.adhoc:
+                status = ("ok" if outcome.ok
+                          else f"ERROR {outcome.error}")
+                print(f"  adhoc {outcome.name:<14} {status} "
+                      f"rows={len(outcome.rows)}", file=out)
+            delta_total += report.delta_count
+            full_total += report.full_count
+
+            if not args.no_verify:
+                for workload in workloads:
+                    fresh = Dyno(dict(service.dyno.tables),
+                                 udfs=changing_udfs())
+                    expected = fresh.execute(workload.final_spec).rows
+                    maintained = manager.result(workload.name)
+                    if canonical_rows(maintained, float_places=6) \
+                            != canonical_rows(expected, float_places=6):
+                        exit_code = 1
+                        print(f"  VERIFY FAILED {workload.name}: "
+                              "maintained result diverged from "
+                              "recompute", file=out)
+                    else:
+                        print(f"  verified {workload.name}: maintained "
+                              "== recompute "
+                              f"({len(maintained)} row(s))", file=out)
+
+        print(f"\nrefresh summary: {delta_total} delta, {full_total} "
+              f"full across {len(steps)} change batch(es)", file=out)
+        print(f"metastore: {len(service.metastore)} statistics entries",
+              file=out)
+    except DynoError as error:
+        print(f"error: {error}", file=out)
+        return 1
+    finally:
+        if tracer is not None:
+            tracer.close()
+            print(f"wrote trace to {args.trace}", file=out)
+
+    if args.metrics:
+        metrics.save(args.metrics)
+        print(f"wrote metrics summary to {args.metrics}", file=out)
+    if args.profile:
+        _print_profile(metrics.summary(), out)
+    if args.save_stats:
+        service.dyno.save_statistics(args.save_stats)
+        print(f"saved statistics to {args.save_stats}", file=out)
+    _finish_feedback(feedback, args, out)
+    return exit_code
+
+
 def main(argv: list[str] | None = None,
          out=None) -> int:
     out = out or sys.stdout
@@ -371,6 +522,8 @@ def main(argv: list[str] | None = None,
 
     if args.batch:
         return _run_service(args, out)
+    if args.standing:
+        return _run_standing(args, out)
 
     skewed = args.skew or args.workload in SKEWED_WORKLOADS
     if skewed:

@@ -124,6 +124,10 @@ class Dyno:
         self.tracer = tracer or NULL_TRACER
         self.metrics = metrics or NULL_METRICS
         self.dfs = DistributedFileSystem(config.cluster.block_size_bytes)
+        # The metastore must exist before the first register_table call:
+        # registration bumps the table's data epoch (the result cache keys
+        # off it -- see repro.stats.metastore).
+        self.metastore = metastore or StatisticsMetastore()
         self.tables: dict[str, Table] = {}
         for name, table in tables.items():
             self.register_table(name, table)
@@ -131,7 +135,6 @@ class Dyno:
         self.runtime = ClusterRuntime(self.dfs, config, self.coordination,
                                       tracer=self.tracer,
                                       metrics=self.metrics)
-        self.metastore = metastore or StatisticsMetastore()
         self.udfs = udfs or default_registry()
         self.executor = DynoptExecutor(self.runtime, self.metastore,
                                        self.config)
@@ -153,8 +156,17 @@ class Dyno:
     # -- catalog ------------------------------------------------------------------------
 
     def register_table(self, name: str, table: Table) -> None:
+        """Publish ``table`` under ``name`` (overwriting any prior data).
+
+        Every registration bumps the metastore's epoch for ``name``:
+        statistics are lossy, so a data change that happens to freeze to
+        identical synopses is invisible to statistics fingerprints -- the
+        epoch is what keeps the result cache from serving rows computed
+        over the previous contents (see repro.stats.metastore).
+        """
         self.tables[name] = table
         self.dfs.write_table(table, name=name, overwrite=True)
+        self.metastore.bump_table_epoch(name)
 
     # -- query preparation ----------------------------------------------------------------
 

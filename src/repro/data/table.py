@@ -131,6 +131,63 @@ class Table:
         }
         return len(values)
 
+    # -- changing data (repro.incremental) -----------------------------------
+
+    def with_changes(
+        self,
+        key_column: str,
+        inserts: Sequence[Row] = (),
+        deletes: Sequence[Row] = (),
+        updates: Sequence[tuple[Row, Row]] = (),
+    ) -> "Table":
+        """New table with a CDC batch applied; ``self`` stays untouched.
+
+        Rows are engine-wide immutable, so change application builds a
+        fresh ``Table`` (fresh row list, copied row dicts for updated
+        rows) rather than mutating in place -- earlier registrations of
+        the same table may still be referenced by in-flight queries.
+        Deletes and updates match on ``key_column``; a delete of an
+        absent key or an update preimage that matches nothing raises, so
+        generator bugs surface instead of silently diverging from the
+        oracle's view of the data.
+        """
+        self.schema.type_of(key_column)
+        dropped = {_hashable(row.get(key_column)) for row in deletes}
+        replaced: dict[Any, Row] = {}
+        for before, after in updates:
+            if _hashable(before.get(key_column)) != \
+                    _hashable(after.get(key_column)):
+                raise SchemaError(
+                    f"update changes key {key_column!r}; model key-changing "
+                    "updates as delete+insert instead"
+                )
+            replaced[_hashable(before.get(key_column))] = dict(after)
+        rows: list[Row] = []
+        seen_deletes: set[Any] = set()
+        seen_updates: set[Any] = set()
+        for row in self.rows:
+            key = _hashable(row.get(key_column))
+            if key in dropped:
+                seen_deletes.add(key)
+                continue
+            if key in replaced:
+                seen_updates.add(key)
+                rows.append(replaced[key])
+                continue
+            rows.append(row)
+        if len(seen_deletes) != len(dropped):
+            missing = sorted(map(repr, dropped - seen_deletes))
+            raise SchemaError(
+                f"delete keys not present in {self.name}: "
+                + ", ".join(missing))
+        if len(seen_updates) != len(replaced):
+            missing = sorted(map(repr, set(replaced) - seen_updates))
+            raise SchemaError(
+                f"update keys not present in {self.name}: "
+                + ", ".join(missing))
+        rows.extend(dict(row) for row in inserts)
+        return Table(self.name, self.schema, rows)
+
 
 def _hashable(value: Any) -> Any:
     """Convert nested JSON-like values into hashable equivalents."""

@@ -87,6 +87,26 @@ def _wrap(expr: Expr, predicates: list[Predicate]) -> Expr:
     return wrapped
 
 
+def substitute_scan(expr: Expr, table: str, replacement: str) -> Expr:
+    """Return a tree with every ``Scan`` of ``table`` retargeted.
+
+    Used by incremental maintenance to derive a *delta plan* from a
+    standing query's spec: the scan of the changed base table is pointed
+    at the change batch's delta file (same alias, so every predicate,
+    join condition, and downstream reference survives untouched), while
+    scans of the unchanged tables keep reading the full base data.
+    """
+    if isinstance(expr, Scan):
+        if expr.table == table:
+            return Scan(replacement, expr.alias)
+        return expr
+    children = tuple(
+        substitute_scan(child, table, replacement)
+        for child in expr.children()
+    )
+    return expr.with_children(children)
+
+
 def merge_adjacent_filters(expr: Expr) -> Expr:
     """Normalize stacked filters into a single conjunction (for comparison)."""
     children = tuple(merge_adjacent_filters(child) for child in expr.children())

@@ -180,7 +180,11 @@ def render_plan(node: PhysicalNode, indent: int = 0,
     """Multi-line, indentation-based rendering of a physical plan."""
     pad = "  " * indent
     if isinstance(node, PhysLeaf):
-        line = f"{pad}{node.leaf.describe()}"
+        # Delta-scan leaves (incremental refresh plans read `T@deltaN`
+        # files instead of the base table) get a visible marker so a
+        # rendered refresh plan is distinguishable from a full recompute.
+        delta = "Δ" if "@delta" in node.leaf.source_name else ""
+        line = f"{pad}{delta}{node.leaf.describe()}"
         if show_estimates:
             line += f"  [~{node.est_rows:.0f} rows]"
         return line

@@ -233,12 +233,16 @@ class PlanCache:
 
     # -- invalidation ---------------------------------------------------------
 
-    def on_stats_update(self, signature: str, stats: TableStats) -> None:
-        """Metastore listener: a leaf's statistics were (re)collected.
+    def on_stats_update(self, signature: str,
+                        stats: TableStats | None) -> None:
+        """Metastore listener: a leaf's statistics were (re)collected, or
+        invalidated (``stats is None`` -- a CDC delta dropped the entry).
 
         Only base-leaf entries matter -- ``intermediate:`` signatures are
         per-query scratch that never contributes to a cache key's
-        fingerprint identity across queries.
+        fingerprint identity across queries. The stats payload itself is
+        irrelevant: any change to a contributing signature's state voids
+        the fingerprint the entry was stored under.
         """
         if not signature.startswith("table:"):
             return

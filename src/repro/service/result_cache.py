@@ -21,9 +21,16 @@ The identity has three parts:
   key does not cover -- two queries sharing a join block but differing in
   projection must not collide) plus the stage's output-table name;
 * **statistics fingerprint** -- a hash of every contributing base leaf's
-  current :class:`TableStats`. Unknown statistics (a cold query) mean "no
-  key": the query executes and is cached afterwards, when its own pilots
-  have published them;
+  current :class:`TableStats` *and* the data epoch of every contributing
+  base table. Statistics alone are not a safe data-change signal: they
+  are lossy synopses, and two different table contents can freeze to
+  byte-identical statistics (or a caller can swap a table's rows without
+  re-running pilots at all). The metastore's per-table epoch -- bumped by
+  every ``Dyno.register_table`` -- closes that hole: any re-registration
+  changes the key, so cached rows computed over the previous contents can
+  never be returned. Unknown statistics (a cold query) mean "no key": the
+  query executes and is cached afterwards, when its own pilots have
+  published them;
 * **correction token** -- the feedback store's quantized correction state
   over the request's alias identities, mirroring the plan cache's salt.
   (Corrections never change rows -- plans are answer-invariant -- but
@@ -71,6 +78,14 @@ class RequestIdentity:
     #: alias -> relation identity over all stages (correction-token scope).
     alias_identity: tuple[tuple[str, str], ...]
 
+    def tables(self) -> list[str]:
+        """Base tables named by the contributing signatures, sorted."""
+        names = set()
+        for signature in self.contributing:
+            if signature.startswith("table:"):
+                names.add(signature[len("table:"):].split("|", 1)[0])
+        return sorted(names)
+
     def key(self, metastore, feedback=None) -> str | None:
         """Full cache key under current statistics, or None when any
         contributing leaf is still unstated (nothing to fingerprint)."""
@@ -80,12 +95,14 @@ class RequestIdentity:
             if stats is None:
                 return None
             stats_payload[signature] = stats.to_dict()
+        epochs = {table: metastore.table_epoch(table)
+                  for table in self.tables()}
         token = ""
         if feedback is not None:
             token = feedback.correction_token(dict(self.alias_identity))
         text = json.dumps(
             {"structural": self.structural, "stats": stats_payload,
-             "correction": token},
+             "epochs": epochs, "correction": token},
             sort_keys=True,
         )
         return hashlib.sha256(text.encode("utf-8")).hexdigest()
@@ -205,7 +222,8 @@ class ResultCache:
                 shard.entries.popitem(last=False)
 
     def on_stats_update(self, signature: str, stats) -> None:
-        """Metastore listener: statistics were (re)collected for a leaf.
+        """Metastore listener: statistics were (re)collected for a leaf,
+        or invalidated (``stats is None`` -- e.g. a CDC delta batch).
 
         Same contract as ``PlanCache.on_stats_update``: any entry whose
         result was computed over the old statistics for ``signature`` is

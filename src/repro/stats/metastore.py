@@ -10,8 +10,27 @@ The store is shared by every driver thread of a
 :class:`~repro.service.QueryService`, so all accessors take a lock and
 ``save()`` serializes a snapshot -- a concurrent ``put()`` used to blow up
 the save with "dict changed size during iteration". Listeners registered
-with :meth:`subscribe` observe every ``put`` (the service's plan cache uses
-this to drop plans whose contributing leaf statistics changed).
+with :meth:`subscribe` observe every ``put`` *and* every ``invalidate``
+(the service's plan and result caches use this to drop entries whose
+contributing leaf statistics changed; an invalidation passes ``None`` as
+the stats argument).
+
+Changing data (repro.incremental) adds two notions on top of the
+signature->stats map:
+
+* **table epochs** -- a per-table counter bumped every time the table's
+  DFS contents are (re)registered. Epochs are deliberately *not* part of
+  any statistics payload: they exist because statistics are lossy (two
+  different data states can freeze to identical synopses), so caches that
+  must never serve stale rows -- the result cache -- fold the epoch into
+  their keys. Epochs are in-memory only; a fresh session re-pilots anyway.
+* **delta application** -- :meth:`apply_table_delta` is the CDC layer's
+  single entry point for "table T changed by this batch". Append-only
+  batches merge row/byte counts into the bare-scan signature (synopses
+  kept but demoted to ``exact=False``) and invalidate every predicated
+  signature; batches containing deletes or updates invalidate *all* of the
+  table's signatures, because RunningStats/KMV synopses cannot un-count a
+  removed row -- the next query re-pilots instead of reusing them.
 """
 
 from __future__ import annotations
@@ -26,6 +45,16 @@ from repro.errors import StatisticsError
 from repro.stats.statistics import TableStats
 
 
+def table_signature_prefix(table: str) -> str:
+    """Prefix shared by every base-leaf signature over ``table``."""
+    return f"table:{table}|"
+
+
+def bare_table_signature(table: str) -> str:
+    """Signature of an unpredicated scan of ``table``."""
+    return table_signature_prefix(table)
+
+
 class StatisticsMetastore:
     """Signature-keyed store of :class:`TableStats` with file persistence.
 
@@ -36,7 +65,8 @@ class StatisticsMetastore:
     def __init__(self) -> None:
         self._entries: dict[str, TableStats] = {}
         self._lock = threading.RLock()
-        self._listeners: list[Callable[[str, TableStats], None]] = []
+        self._listeners: list[Callable[[str, TableStats | None], None]] = []
+        self._epochs: dict[str, int] = {}
 
     # -- dict-like access -------------------------------------------------------
 
@@ -67,17 +97,96 @@ class StatisticsMetastore:
             listener(signature, stats)
 
     def invalidate(self, signature: str) -> None:
+        """Drop one entry and notify listeners (stats argument ``None``).
+
+        Notification matters: caches subscribed to the store key their
+        entries off contributing signatures, and an invalidation is as
+        much a "this leaf's statistics state changed" event as a ``put``
+        -- dropping an entry silently used to leave dependent cache
+        entries keyed under statistics the store no longer vouches for.
+        """
         with self._lock:
-            self._entries.pop(signature, None)
+            removed = self._entries.pop(signature, None) is not None
+            listeners = tuple(self._listeners) if removed else ()
+        for listener in listeners:
+            listener(signature, None)
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
 
-    def subscribe(self, listener: Callable[[str, TableStats], None]) -> None:
-        """Register a callback invoked after every ``put(signature, stats)``."""
+    def subscribe(
+        self, listener: Callable[[str, TableStats | None], None]
+    ) -> None:
+        """Register a callback invoked after every ``put(signature,
+        stats)`` and every effective ``invalidate(signature)`` (which
+        passes ``None`` for the stats)."""
         with self._lock:
             self._listeners.append(listener)
+
+    # -- changing data (repro.incremental) ---------------------------------------
+
+    def table_epoch(self, table: str) -> int:
+        """Current data epoch of ``table`` (0 = never registered)."""
+        with self._lock:
+            return self._epochs.get(table, 0)
+
+    def bump_table_epoch(self, table: str) -> int:
+        """Record that ``table``'s DFS contents were (re)written."""
+        with self._lock:
+            epoch = self._epochs.get(table, 0) + 1
+            self._epochs[table] = epoch
+            return epoch
+
+    def signatures_for_table(self, table: str) -> list[str]:
+        """Every stored base-leaf signature over ``table``, sorted."""
+        prefix = table_signature_prefix(table)
+        with self._lock:
+            return sorted(signature for signature in self._entries
+                          if signature.startswith(prefix))
+
+    def apply_table_delta(self, table: str, delta_rows: float,
+                          delta_bytes: float,
+                          append_only: bool) -> dict[str, str]:
+        """Fold one CDC change batch over ``table`` into the store.
+
+        Returns ``{signature: action}`` where action is ``"merged"`` or
+        ``"invalidated"``. The rules (see the module docstring):
+
+        * deletes or updates present -> every signature over the table is
+          invalidated; synopses cannot un-count, so reusing them would be
+          silently wrong and the next query must re-pilot;
+        * append-only -> the bare-scan signature gets a conservative
+          merge (exact row/byte sums; per-column synopses kept but the
+          entry is demoted to ``exact=False`` because distinct counts and
+          histograms now under-report the appended rows), while every
+          *predicated* signature is invalidated -- the delta's pass rate
+          under those predicates is unknown without a pilot.
+
+        Either way the table's epoch is bumped and listeners observe one
+        event per touched signature, driving plan- and result-cache
+        eviction exactly as ordinary statistics collection does.
+        """
+        actions: dict[str, str] = {}
+        bare = bare_table_signature(table)
+        self.bump_table_epoch(table)
+        for signature in self.signatures_for_table(table):
+            if append_only and signature == bare:
+                old = self.get(signature)
+                if old is None:  # raced away; nothing to merge
+                    continue
+                merged = TableStats(
+                    row_count=old.row_count + max(delta_rows, 0.0),
+                    size_bytes=old.size_bytes + max(delta_bytes, 0.0),
+                    columns=dict(old.columns),
+                    exact=False,
+                )
+                self.put(signature, merged)
+                actions[signature] = "merged"
+            else:
+                self.invalidate(signature)
+                actions[signature] = "invalidated"
+        return actions
 
     # -- persistence -------------------------------------------------------------
 

@@ -1,0 +1,121 @@
+"""Changing-data scenario family: standing queries + CDC batches.
+
+Builds on the weblog domain (:mod:`repro.workloads.weblogs`) because its
+aggregates are integer-valued (``count``, ``sum(dwell_ms)``), so
+incremental group merges are exact -- the differential oracle can demand
+byte-identical results without floating-point caveats.
+
+Two standing queries cover both maintenance shapes:
+
+* **WeblogEngagement** (reused from the weblog workload) -- 3-way join
+  with a GROUP BY core (count/sum) and an ORDER BY tail; delta-eligible
+  for append-only batches;
+* **PremiumSessions** (defined here) -- a pure-join query with a
+  projection tail and no aggregation; delta-eligible for inserts *and*
+  deletes (union / multiset-subtract maintenance).
+
+The default scenario's steps are chosen so the cardinality rule
+demonstrably goes both ways: a 1% append-only batch refreshes via delta
+joins, a 50% batch tips past the threshold into a full recompute, and a
+mixed update/delete batch on ``users`` forces the GROUP BY query full
+while the pure-join query still maintains incrementally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.table import Table
+from repro.jaql.functions import Udf, UdfRegistry
+from repro.jaql.parser import SqlParser
+from repro.workloads.queries import Workload
+from repro.workloads.weblogs import (
+    generate_weblogs,
+    is_human,
+    weblog_engagement,
+)
+
+__all__ = [
+    "DEFAULT_STEPS",
+    "KEY_COLUMNS",
+    "ScenarioStep",
+    "changing_tables",
+    "changing_udfs",
+    "premium_sessions",
+    "standing_workloads",
+]
+
+#: CDC key column per weblog table (what deletes/updates match on).
+KEY_COLUMNS = {
+    "pageviews": "eventid",
+    "users": "userid",
+    "pages": "url",
+}
+
+
+@dataclass(frozen=True)
+class ScenarioStep:
+    """One change batch of a scenario: which table, how much, what mix."""
+
+    table: str
+    change_rate: float
+    #: (insert, update, delete) weights; default append-only.
+    mix: tuple[float, float, float] = (1.0, 0.0, 0.0)
+
+
+#: The default mixed scenario (see the module docstring for why each
+#: step is there). Deterministic given the generator seed.
+DEFAULT_STEPS: tuple[ScenarioStep, ...] = (
+    ScenarioStep("pageviews", 0.01),
+    ScenarioStep("users", 0.05, (0.0, 1.0, 1.0)),
+    ScenarioStep("pageviews", 0.50),
+)
+
+
+def changing_tables(scale_factor: float = 1.0,
+                    seed: int = 23) -> dict[str, Table]:
+    """Deterministic weblog tables sized for the changing scenario."""
+    return generate_weblogs(
+        user_count=max(20, int(500 * scale_factor)),
+        page_count=max(10, int(200 * scale_factor)),
+        event_count=max(200, int(20_000 * scale_factor)),
+        seed=seed,
+    )
+
+
+def changing_udfs() -> UdfRegistry:
+    """Every UDF the standing queries need, in one registry."""
+    udfs = UdfRegistry()
+    udfs.register(Udf("is_human", is_human, cost_seconds=0.0005))
+    return udfs
+
+
+def premium_sessions() -> Workload:
+    """Long sessions of US users: a pure-join standing query.
+
+    No GROUP BY -- the maintained state is the join result itself, so
+    delta maintenance must handle deletes (multiset subtraction), which
+    the aggregate queries never exercise.
+    """
+    udfs = UdfRegistry()
+    sql = """
+        SELECT pv.eventid AS eventid, u.country AS country,
+               pv.dwell_ms AS dwell
+        FROM pageviews pv, users u
+        WHERE pv.userid = u.userid
+        AND pv.dwell_ms >= 30000
+        AND u.country = 'US'
+    """
+    spec = SqlParser(udfs).parse(sql, "PremiumSessions")
+    return Workload(
+        "PremiumSessions", [(spec, None)], udfs,
+        description="long US sessions (pure join; exercises "
+                    "insert+delete delta maintenance)",
+        tables=("pageviews", "users"),
+    )
+
+
+def standing_workloads() -> list[Workload]:
+    """The standing queries of the changing scenario, in registration
+    order (deterministic seeding and refresh ordering)."""
+    return [weblog_engagement(), premium_sessions()]

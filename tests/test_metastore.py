@@ -1,9 +1,13 @@
-"""Statistics metastore: signature store and persistence."""
+"""Statistics metastore: signature store, CDC delta folds, persistence."""
 
 import pytest
 
 from repro.errors import StatisticsError
-from repro.stats.metastore import StatisticsMetastore
+from repro.stats.metastore import (
+    StatisticsMetastore,
+    bare_table_signature,
+    table_signature_prefix,
+)
 from repro.stats.statistics import ColumnStats, TableStats
 
 
@@ -50,6 +54,129 @@ class TestStore:
         store.put("sig", sample_stats())
         store.clear()
         assert len(store) == 0
+
+
+class TestInvalidationNotifies:
+    def test_listener_sees_effective_invalidations_with_none(self):
+        events = []
+        store = StatisticsMetastore()
+        store.subscribe(lambda sig, stats: events.append((sig, stats)))
+        store.put("sig", sample_stats())
+        store.invalidate("sig")
+        assert events[-1] == ("sig", None)
+
+    def test_noop_invalidation_stays_silent(self):
+        """Dropping a signature that was never stored must not wake the
+        caches -- they would scan every shard for nothing."""
+        events = []
+        store = StatisticsMetastore()
+        store.subscribe(lambda sig, stats: events.append(sig))
+        store.invalidate("ghost")
+        assert events == []
+
+
+class TestEpochs:
+    def test_epochs_start_at_zero_and_count_up(self):
+        store = StatisticsMetastore()
+        assert store.table_epoch("orders") == 0
+        assert store.bump_table_epoch("orders") == 1
+        assert store.bump_table_epoch("orders") == 2
+        assert store.table_epoch("orders") == 2
+        assert store.table_epoch("other") == 0
+
+    def test_epochs_are_not_persisted(self, tmp_path):
+        """Epochs guard in-memory caches; a fresh session re-pilots
+        anyway, so they deliberately stay out of the JSON file."""
+        store = StatisticsMetastore()
+        store.put(bare_table_signature("orders"), sample_stats())
+        store.bump_table_epoch("orders")
+        path = tmp_path / "stats.json"
+        store.save(path)
+        restored = StatisticsMetastore.load(path)
+        assert restored.table_epoch("orders") == 0
+
+
+class TestSignaturesForTable:
+    def test_prefix_excludes_delta_tables(self):
+        """`table:orders@delta0|...` is a different table (the batch's
+        delta file), not a predicated signature over `orders` -- the '@'
+        falls outside the `table:orders|` prefix, so a CDC fold over the
+        base table can never clobber delta-file statistics."""
+        store = StatisticsMetastore()
+        store.put(bare_table_signature("orders"), sample_stats())
+        store.put("table:orders|price>5", sample_stats())
+        store.put("table:orders@delta0|", sample_stats())
+        store.put("table:orders2|", sample_stats())
+        assert store.signatures_for_table("orders") == [
+            "table:orders|", "table:orders|price>5",
+        ]
+        assert table_signature_prefix("orders") == "table:orders|"
+
+
+class TestApplyTableDelta:
+    def seeded(self):
+        store = StatisticsMetastore()
+        store.put(bare_table_signature("orders"), sample_stats())
+        store.put("table:orders|price>5",
+                  TableStats(40.0, 2000.0, exact=True))
+        store.put("table:orders@delta0|", TableStats(3.0, 30.0))
+        return store
+
+    def test_append_only_merges_bare_and_invalidates_predicated(self):
+        store = self.seeded()
+        actions = store.apply_table_delta("orders", delta_rows=10.0,
+                                          delta_bytes=500.0,
+                                          append_only=True)
+        assert actions == {
+            "table:orders|": "merged",
+            "table:orders|price>5": "invalidated",
+        }
+        merged = store.get("table:orders|")
+        assert merged.row_count == 110.0
+        assert merged.size_bytes == 5500.0
+        # synopses survive the merge but can no longer claim exactness:
+        # distinct counts/extrema under-report the appended rows.
+        assert not merged.exact
+        assert merged.column("a.x").distinct_values == 10.0
+        assert store.get("table:orders|price>5") is None
+        assert store.table_epoch("orders") == 1
+
+    def test_deletes_invalidate_everything(self):
+        """Synopses cannot un-count: any batch with deletes or updates
+        must force re-piloting of every signature over the table, the
+        bare scan included."""
+        store = self.seeded()
+        actions = store.apply_table_delta("orders", delta_rows=5.0,
+                                          delta_bytes=0.0,
+                                          append_only=False)
+        assert actions == {
+            "table:orders|": "invalidated",
+            "table:orders|price>5": "invalidated",
+        }
+        assert store.get("table:orders|") is None
+        assert store.get("table:orders|price>5") is None
+        assert store.table_epoch("orders") == 1
+
+    def test_delta_file_signatures_are_untouched(self):
+        store = self.seeded()
+        store.apply_table_delta("orders", delta_rows=5.0, delta_bytes=0.0,
+                                append_only=False)
+        assert store.get("table:orders@delta0|").row_count == 3.0
+
+    def test_fold_notifies_listeners_per_signature(self):
+        store = self.seeded()
+        events = []
+        store.subscribe(lambda sig, stats: events.append((sig, stats is None)))
+        store.apply_table_delta("orders", delta_rows=1.0, delta_bytes=10.0,
+                                append_only=True)
+        assert ("table:orders|", False) in events      # merged -> put
+        assert ("table:orders|price>5", True) in events  # invalidated
+
+    def test_unknown_table_is_a_noop_with_an_epoch_bump(self):
+        store = StatisticsMetastore()
+        assert store.apply_table_delta("ghost", 1.0, 1.0,
+                                       append_only=True) == {}
+        assert store.table_epoch("ghost") == 1
 
 
 class TestPersistence:
